@@ -1,0 +1,71 @@
+// A2 — support-pruning threshold ablation (paper Section III-B.1).
+//
+// "If this threshold is set low, many rule sets may be generated and used
+// ... If the threshold is set high, the number of rule sets generated may be
+// much lower.  Although this would seem to result in smaller, higher-quality
+// rule sets which yield comparable results ... this may not necessarily be
+// the case."  This bench measures the rule-set size / coverage / success
+// trade-off across thresholds and block sizes.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace aar;
+  bench::print_header("A2", "pruning threshold vs rule-set size and quality");
+
+  const auto pairs = bench::standard_trace(120);
+
+  const std::vector<std::uint32_t> thresholds{1, 2, 5, 10, 20, 50, 100};
+  util::Table table({"threshold", "avg rules", "avg antecedents",
+                     "avg coverage", "avg success"});
+  util::CsvWriter csv("out/a2_pruning.csv");
+  csv.header({"threshold", "rules", "antecedents", "coverage", "success"});
+
+  std::vector<double> coverages;
+  std::vector<double> rule_counts;
+  constexpr std::size_t kBlockSize = 10'000;
+  const std::size_t blocks = pairs.size() / kBlockSize;
+  for (const std::uint32_t threshold : thresholds) {
+    util::Running rules_size;
+    util::Running antecedents;
+    util::Running coverage;
+    util::Running success;
+    for (std::size_t b = 1; b < blocks; ++b) {
+      const auto train =
+          std::span(pairs).subspan((b - 1) * kBlockSize, kBlockSize);
+      const auto test = std::span(pairs).subspan(b * kBlockSize, kBlockSize);
+      const core::RuleSet ruleset = core::RuleSet::build(train, threshold);
+      const core::BlockMeasures m = core::evaluate(ruleset, test);
+      rules_size.add(static_cast<double>(ruleset.num_rules()));
+      antecedents.add(static_cast<double>(ruleset.num_antecedents()));
+      coverage.add(m.coverage());
+      success.add(m.success());
+    }
+    coverages.push_back(coverage.mean());
+    rule_counts.push_back(rules_size.mean());
+    table.row({std::to_string(threshold),
+               util::Table::num(rules_size.mean(), 1),
+               util::Table::num(antecedents.mean(), 1),
+               util::Table::num(coverage.mean(), 3),
+               util::Table::num(success.mean(), 3)});
+    csv.row({static_cast<double>(threshold), rules_size.mean(),
+             antecedents.mean(), coverage.mean(), success.mean()});
+  }
+  table.print(std::cout);
+  std::cout << "rows written to out/a2_pruning.csv\n";
+
+  // thresholds: 1, 2, 5, 10, 20, 50, 100 -> indices 0..6.
+  std::vector<bench::PaperRow> rows{
+      {"rule-set shrinkage, threshold 1 -> 100", "much lower",
+       rule_counts.back() / rule_counts.front(),
+       rule_counts.back() < 0.5 * rule_counts.front()},
+      {"coverage loss, threshold 10 vs 1", "only small",
+       coverages[0] - coverages[3], coverages[0] - coverages[3] < 0.15},
+      {"high thresholds eventually hurt coverage", "may not be comparable",
+       coverages[3] - coverages.back(), coverages.back() < coverages[3]},
+  };
+  return bench::print_comparison(rows);
+}

@@ -1,0 +1,89 @@
+#pragma once
+// Shared plumbing for the experiment-reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper (DESIGN.md §4):
+// it prints the per-block series or sweep rows, writes a CSV under out/ for
+// re-plotting, and finishes with a paper-vs-measured summary table.  Absolute
+// equality with the 2006 testbed is not expected — the `band` column records
+// the tolerance under which the reproduction is judged.
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "core/trace_simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace aar::bench {
+
+/// One paper-vs-measured comparison row.
+struct PaperRow {
+  std::string metric;
+  std::string paper;     ///< what the paper reports (verbatim-ish)
+  double measured = 0.0;
+  bool ok = true;        ///< measured falls in the acceptance band
+};
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::cout << "\n==== " << id << ": " << title << " ====\n";
+}
+
+inline int print_comparison(const std::vector<PaperRow>& rows) {
+  util::Table table({"metric", "paper", "measured", "ok"});
+  bool all_ok = true;
+  for (const PaperRow& row : rows) {
+    table.row({row.metric, row.paper, util::Table::num(row.measured, 3),
+               row.ok ? "yes" : "NO"});
+    all_ok &= row.ok;
+  }
+  table.print(std::cout);
+  std::cout << (all_ok ? "[reproduced]" : "[DEVIATION — see rows marked NO]")
+            << "\n";
+  return all_ok ? 0 : 1;
+}
+
+/// The standard 7-day-equivalent trace: `blocks`+1 blocks of pairs at the
+/// calibrated defaults (block 0 bootstraps, `blocks` are tested).
+inline std::vector<trace::QueryReplyPair> standard_trace(
+    std::size_t blocks, std::uint64_t seed = 42,
+    std::uint32_t block_size = 10'000) {
+  trace::TraceConfig config;
+  config.seed = seed;
+  config.block_size = block_size;
+  trace::TraceGenerator generator(config);
+  return generator.generate_pairs((blocks + 1) * block_size);
+}
+
+/// Dump a result's coverage/success series to out/<id>.csv.
+inline void write_result_csv(const std::string& id,
+                             const core::SimulationResult& result) {
+  const std::vector<std::string> names{"coverage", "success"};
+  const std::vector<std::vector<double>> columns{
+      {result.coverage.values().begin(), result.coverage.values().end()},
+      {result.success.values().begin(), result.success.values().end()}};
+  const std::string path = "out/" + id + ".csv";
+  util::write_series_csv(path, names, columns);
+  std::cout << "series written to " << path << "\n";
+}
+
+/// Print every `stride`-th block of a coverage/success series.
+inline void print_series(const core::SimulationResult& result,
+                         std::size_t stride) {
+  util::Table table({"block", "coverage", "success"});
+  for (std::size_t b = 0; b < result.coverage.size(); b += stride) {
+    table.row({std::to_string(b + 1), util::Table::num(result.coverage[b], 3),
+               util::Table::num(result.success[b], 3)});
+  }
+  table.print(std::cout);
+}
+
+/// Acceptance helpers.
+inline bool within(double measured, double lo, double hi) {
+  return measured >= lo && measured <= hi;
+}
+
+}  // namespace aar::bench

@@ -1,0 +1,147 @@
+// N6 — behaviour under overlay churn.
+//
+// "As peer-to-peer networks are usually highly dynamic, this is likely to
+// quickly be the case" (§III-B.3, on why Static Ruleset fails) — the same
+// dynamic pressure exists in the overlay: peers leave, new peers join with
+// different content and interests, and every learned structure goes stale.
+// Association routing re-mines its rules from the traffic it keeps seeing;
+// a routing index built once does not.  This bench interleaves churn epochs
+// with query batches and compares degradation.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "overlay/assoc_policy.hpp"
+#include "overlay/experiment.hpp"
+#include "overlay/routing_indices.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace aar;
+using namespace aar::overlay;
+
+struct ChurnRun {
+  std::vector<double> success;   ///< per epoch
+  std::vector<double> messages;  ///< per epoch
+};
+
+/// Run `epochs` alternating (churn, measure) rounds.
+ChurnRun run_with_churn(Network& network, std::size_t epochs,
+                        std::size_t queries_per_epoch, std::size_t churn_count,
+                        util::Rng& rng) {
+  ChurnRun run;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    if (epoch > 0) network.churn(churn_count, 3);
+    TrafficStats stats;
+    run_queries(network, queries_per_epoch, {}, rng, &stats);
+    run.success.push_back(stats.success_rate());
+    run.messages.push_back(stats.total_messages.mean());
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("N6", "learned routing under overlay churn");
+
+  ExperimentConfig config;
+  config.seed = 47;
+  config.nodes = 1'000;
+  constexpr std::size_t kEpochs = 8;
+  constexpr std::size_t kQueriesPerEpoch = 1'500;
+  // 10% of peers replaced between epochs — aggressive but Gnutella-era real.
+  constexpr std::size_t kChurnPerEpoch = 100;
+
+  // Association routing: learns continuously.
+  Network assoc_net = make_network(config, [](NodeId) {
+    return std::make_unique<AssociationRoutingPolicy>();
+  });
+  util::Rng assoc_rng(config.seed + 2);
+  run_queries(assoc_net, 3'000, {}, assoc_rng, nullptr);  // warm-up
+  const ChurnRun assoc = run_with_churn(assoc_net, kEpochs, kQueriesPerEpoch,
+                                        kChurnPerEpoch, assoc_rng);
+
+  // Routing indices: table built once over the initial content placement.
+  Network ri_net = make_network(
+      config, [](NodeId) { return std::make_unique<FloodingPolicy>(); });
+  auto table = std::make_shared<RoutingIndexTable>(
+      ri_net.graph(), local_document_counts(ri_net), 4, 0.5);
+  for (NodeId n = 0; n < ri_net.num_nodes(); ++n) {
+    ri_net.set_policy(
+        n, std::make_unique<RoutingIndicesPolicy>(table, RoutingIndicesConfig{}));
+  }
+  util::Rng ri_rng(config.seed + 2);
+  run_queries(ri_net, 3'000, {}, ri_rng, nullptr);
+  // Churn must not replace RI policies with flooding (the construction
+  // factory), or staleness would be masked: re-pin RI after each epoch.
+  ChurnRun ri;
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    if (epoch > 0) {
+      ri_net.churn(kChurnPerEpoch, 3);
+      for (NodeId n = 0; n < ri_net.num_nodes(); ++n) {
+        ri_net.set_policy(n, std::make_unique<RoutingIndicesPolicy>(
+                                 table, RoutingIndicesConfig{}));
+      }
+    }
+    TrafficStats stats;
+    run_queries(ri_net, kQueriesPerEpoch, {}, ri_rng, &stats);
+    ri.success.push_back(stats.success_rate());
+    ri.messages.push_back(stats.total_messages.mean());
+  }
+
+  // Flooding under identical churn: the structure-free control.
+  Network flood_net = make_network(
+      config, [](NodeId) { return std::make_unique<FloodingPolicy>(); });
+  util::Rng flood_rng(config.seed + 2);
+  run_queries(flood_net, 3'000, {}, flood_rng, nullptr);
+  const ChurnRun flooding = run_with_churn(flood_net, kEpochs, kQueriesPerEpoch,
+                                           kChurnPerEpoch, flood_rng);
+
+  util::Table table_out({"epoch", "assoc success", "assoc msgs", "RI fallback"
+                                                                 " msgs",
+                         "flood success", "flood msgs"});
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    table_out.row({std::to_string(epoch),
+                   util::Table::pct(assoc.success[epoch]),
+                   util::Table::num(assoc.messages[epoch], 0),
+                   util::Table::num(ri.messages[epoch], 0),
+                   util::Table::pct(flooding.success[epoch]),
+                   util::Table::num(flooding.messages[epoch], 0)});
+  }
+  table_out.print(std::cout);
+
+  {
+    util::CsvWriter csv("out/n6_churn.csv");
+    const std::vector<std::string> names{"assoc_success", "assoc_messages",
+                                         "ri_messages", "flood_success",
+                                         "flood_messages"};
+    const std::vector<std::vector<double>> cols{assoc.success, assoc.messages,
+                                                ri.messages, flooding.success,
+                                                flooding.messages};
+    util::write_series_csv("out/n6_churn.csv", names, cols);
+    std::cout << "series written to out/n6_churn.csv\n";
+  }
+
+  auto mean_tail = [](const std::vector<double>& v) {
+    double sum = 0;
+    for (std::size_t i = v.size() / 2; i < v.size(); ++i) sum += v[i];
+    return sum / static_cast<double>(v.size() - v.size() / 2);
+  };
+  std::vector<bench::PaperRow> rows{
+      {"association keeps its traffic advantage under churn",
+       "rules re-mined from live traffic",
+       mean_tail(assoc.messages) / mean_tail(flooding.messages),
+       mean_tail(assoc.messages) < 0.8 * mean_tail(flooding.messages)},
+      {"association success unharmed by churn", "flood fallback",
+       mean_tail(assoc.success) - mean_tail(flooding.success),
+       mean_tail(assoc.success) > mean_tail(flooding.success) - 0.03},
+      {"stale routing indices lean on fallback floods",
+       "static structures age", mean_tail(ri.messages) /
+                                    mean_tail(assoc.messages),
+       mean_tail(ri.messages) > mean_tail(assoc.messages)},
+  };
+  return bench::print_comparison(rows);
+}

@@ -1,0 +1,134 @@
+// P1 — performance microbenchmarks (google-benchmark).
+//
+// The paper reports "rule set generation required no more than a few
+// seconds" on its PHP/MySQL pipeline and 45-minute full simulations.  These
+// benches document the native-code costs: rule mining, block evaluation,
+// trace generation, Apriori, and one overlay flood.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "assoc/apriori.hpp"
+#include "core/measures.hpp"
+#include "core/strategy.hpp"
+#include "overlay/experiment.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace aar;
+
+std::vector<trace::QueryReplyPair> shared_pairs(std::size_t n) {
+  static std::vector<trace::QueryReplyPair> pairs = [] {
+    trace::TraceConfig config;
+    trace::TraceGenerator generator(config);
+    return generator.generate_pairs(200'000);
+  }();
+  return {pairs.begin(), pairs.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+void BM_RuleSetBuild(benchmark::State& state) {
+  const auto pairs = shared_pairs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RuleSet::build(pairs, 10));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RuleSetBuild)->Arg(10'000)->Arg(50'000)->Arg(100'000);
+
+void BM_BlockEvaluate(benchmark::State& state) {
+  const auto pairs = shared_pairs(20'000);
+  const auto train = std::span(pairs).subspan(0, 10'000);
+  const auto test = std::span(pairs).subspan(10'000, 10'000);
+  const core::RuleSet rules = core::RuleSet::build(train, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate(rules, test));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_BlockEvaluate);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::TraceConfig config;
+  trace::TraceGenerator generator(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generator.generate_pairs(static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10'000);
+
+void BM_SlidingWindowBlock(benchmark::State& state) {
+  const auto pairs = shared_pairs(200'000);
+  core::SlidingWindow strategy(10);
+  strategy.bootstrap(std::span(pairs).subspan(0, 10'000));
+  std::size_t block = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        strategy.test_block(std::span(pairs).subspan(block * 10'000, 10'000)));
+    block = block % 18 + 1;
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SlidingWindowBlock);
+
+void BM_IncrementalBlock(benchmark::State& state) {
+  const auto pairs = shared_pairs(200'000);
+  core::IncrementalRuleset strategy(10);
+  strategy.bootstrap(std::span(pairs).subspan(0, 10'000));
+  std::size_t block = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        strategy.test_block(std::span(pairs).subspan(block * 10'000, 10'000)));
+    block = block % 18 + 1;
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_IncrementalBlock);
+
+void BM_AprioriMine(benchmark::State& state) {
+  assoc::TransactionDb db;
+  util::Rng rng(5);
+  for (int t = 0; t < 500; ++t) {
+    assoc::Itemset txn;
+    for (assoc::Item item = 0; item < 20; ++item) {
+      if (rng.chance(0.25)) txn.push_back(item);
+    }
+    db.add(std::move(txn));
+  }
+  assoc::Apriori miner({.min_support_count = 25});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.mine(db));
+  }
+}
+BENCHMARK(BM_AprioriMine);
+
+void BM_OverlayFloodQuery(benchmark::State& state) {
+  overlay::ExperimentConfig config;
+  config.nodes = 1'000;
+  overlay::Network net = overlay::make_network(config, [](overlay::NodeId) {
+    return std::make_unique<overlay::FloodingPolicy>();
+  });
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const auto origin =
+        static_cast<overlay::NodeId>(rng.below(net.num_nodes()));
+    benchmark::DoNotOptimize(net.search(origin, net.sample_target(origin)));
+  }
+}
+BENCHMARK(BM_OverlayFloodQuery);
+
+void BM_ZipfSample(benchmark::State& state) {
+  util::ZipfSampler zipf(100'000, 0.8);
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

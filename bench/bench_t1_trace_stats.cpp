@@ -1,0 +1,80 @@
+// T1 — Section IV-A trace statistics.
+//
+// The paper's capture: 10,514,090 query messages and 3,254,274 reply
+// messages after removing duplicate-GUID rows; the query⋈reply join yields
+// 3,254,274 query-reply pairs; ~2.6 GB of MySQL tables.  We run the same
+// pipeline (import -> duplicate-GUID dedup, first use wins -> join) over the
+// synthetic capture at the same pair count and compare the table shapes.
+//
+// Usage: bench_t1_trace_stats [scale]   (default 1.0 = full 3.25M-pair scale)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "trace/database.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aar;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  constexpr std::uint64_t kPaperQueries = 10'514'090;
+  constexpr std::uint64_t kPaperReplies = 3'254'274;
+  constexpr std::uint64_t kPaperPairs = 3'254'274;
+
+  bench::print_header("T1", "trace statistics (paper Section IV-A)");
+  const auto pair_target = static_cast<std::size_t>(
+      scale * static_cast<double>(kPaperPairs));
+  std::cout << "scale " << scale << " -> importing until " << pair_target
+            << " pairs\n";
+
+  trace::TraceConfig config;  // calibrated defaults
+  trace::TraceGenerator generator(config);
+  trace::Database db;
+  db.import(generator, pair_target);
+  const std::uint64_t removed = db.deduplicate_queries();
+  db.join();
+  const trace::TraceSummary s = db.summary();
+
+  util::Table table({"table", "paper (full scale)", "measured", "measured/scale"});
+  auto scaled = [scale](std::uint64_t v) {
+    return util::Table::integer(
+        static_cast<long long>(static_cast<double>(v) / scale));
+  };
+  table.row({"query messages", util::Table::integer(kPaperQueries),
+             util::Table::integer(static_cast<long long>(s.queries)),
+             scaled(s.queries)});
+  table.row({"reply messages", util::Table::integer(kPaperReplies),
+             util::Table::integer(static_cast<long long>(s.replies)),
+             scaled(s.replies)});
+  table.row({"query-reply pairs (join)", util::Table::integer(kPaperPairs),
+             util::Table::integer(static_cast<long long>(s.pairs)),
+             scaled(s.pairs)});
+  table.row({"duplicate GUIDs removed", "\"instances were found\"",
+             util::Table::integer(static_cast<long long>(removed)),
+             scaled(removed)});
+  table.row({"orphan replies dropped", "-",
+             util::Table::integer(static_cast<long long>(s.orphan_replies)),
+             scaled(s.orphan_replies)});
+  table.row({"unique source hosts", "-",
+             util::Table::integer(static_cast<long long>(s.unique_source_hosts)),
+             "-"});
+  table.row({"unique reply neighbors", "-",
+             util::Table::integer(static_cast<long long>(s.unique_reply_neighbors)),
+             "-"});
+  table.print(std::cout);
+
+  const double query_ratio =
+      static_cast<double>(s.queries) / static_cast<double>(s.replies);
+  std::vector<aar::bench::PaperRow> rows{
+      {"queries per reply", "3.23 (10.51M / 3.25M)", query_ratio,
+       bench::within(query_ratio, 3.0, 3.5)},
+      {"join rows == reply rows", "1.00",
+       static_cast<double>(s.pairs) / static_cast<double>(s.replies),
+       bench::within(static_cast<double>(s.pairs) /
+                         static_cast<double>(s.replies),
+                     0.99, 1.0)},
+      {"duplicate GUIDs present", "> 0 (buggy clients)",
+       static_cast<double>(removed), removed > 0},
+  };
+  return bench::print_comparison(rows);
+}

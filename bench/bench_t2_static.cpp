@@ -1,0 +1,60 @@
+// T2 — Static Ruleset over 365 trials (paper Section V-A).
+//
+// Paper: "once the success had dropped to almost 0 around the 16th trial, it
+// never rose again.  Coverage ... remained around 0.4 for several more
+// trials.  Over the 365 trials performed, the average coverage was 0.18, and
+// the success was under 0.02 ... Additional simulations performed with
+// varying block sizes yielded very similar results."
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace aar;
+  bench::print_header("T2", "Static Ruleset over 365 trials (paper §V-A)");
+
+  const auto pairs = bench::standard_trace(365);
+  core::StaticRuleset strategy(10);
+  const core::SimulationResult result =
+      core::run_trace_simulation(strategy, pairs, 10'000);
+
+  bench::print_series(result, 20);
+  bench::write_result_csv("t2_static", result);
+
+  // Late-phase success: everything after the collapse must stay flat.
+  double late_success_max = 0.0;
+  for (std::size_t b = 30; b < result.success.size(); ++b) {
+    late_success_max = std::max(late_success_max, result.success[b]);
+  }
+
+  // Block-size insensitivity: rerun at 5k and 20k blocks.
+  core::StaticRuleset small_blocks(10);
+  core::StaticRuleset large_blocks(10);
+  const double avg_5k =
+      core::run_trace_simulation(small_blocks, pairs, 5'000).avg_coverage();
+  const double avg_20k =
+      core::run_trace_simulation(large_blocks, pairs, 20'000).avg_coverage();
+
+  const double collapse_block =
+      static_cast<double>(result.success.first_below(0.1)) + 1.0;
+  std::vector<bench::PaperRow> rows{
+      {"avg coverage (365 trials)", "0.18", result.avg_coverage(),
+       bench::within(result.avg_coverage(), 0.12, 0.24)},
+      {"avg success (365 trials)", "< 0.02", result.avg_success(),
+       result.avg_success() < 0.04},
+      {"success collapses by trial", "~16", collapse_block,
+       bench::within(collapse_block, 10.0, 24.0)},
+      {"success never rises again (max after 30)", "~0", late_success_max,
+       late_success_max < 0.12},
+      {"coverage around trial 16", "~0.4", result.coverage[15],
+       bench::within(result.coverage[15], 0.28, 0.52)},
+      {"avg coverage, 5k blocks", "similar to 10k", avg_5k,
+       bench::within(avg_5k, 0.6 * result.avg_coverage(),
+                     1.4 * result.avg_coverage())},
+      {"avg coverage, 20k blocks", "similar to 10k", avg_20k,
+       bench::within(avg_20k, 0.6 * result.avg_coverage(),
+                     1.4 * result.avg_coverage())},
+  };
+  return bench::print_comparison(rows);
+}

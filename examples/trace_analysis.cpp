@@ -1,0 +1,79 @@
+// trace_analysis: the paper's Section V evaluation in miniature, end to end.
+//
+//   $ ./trace_analysis [blocks] [block_size] [min_support]
+//
+// Generates a synthetic Gnutella capture, pushes it through the relational
+// pipeline (import -> GUID dedup -> query⋈reply join), then replays the pair
+// table in blocks under all five rule-set maintenance strategies and prints
+// the comparison the paper's Section V spreads over four figures.
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "core/trace_simulator.hpp"
+#include "trace/database.hpp"
+#include "trace/generator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aar;
+  const std::size_t blocks = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 80;
+  const std::size_t block_size =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10'000;
+  const auto min_support = static_cast<std::uint32_t>(
+      argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10);
+
+  // 1. Capture: the trace generator plays the modified Gnutella node.
+  trace::TraceConfig config;
+  config.seed = 42;
+  trace::TraceGenerator generator(config);
+
+  // 2. Relational pipeline (paper Section IV-A).
+  trace::Database db;
+  db.import(generator, (blocks + 1) * block_size);
+  db.join();
+  const trace::TraceSummary summary = db.summary();
+  std::cout << "capture: " << util::Table::integer(static_cast<long long>(
+                                  summary.queries))
+            << " queries, "
+            << util::Table::integer(static_cast<long long>(summary.replies))
+            << " replies, "
+            << util::Table::integer(static_cast<long long>(summary.pairs))
+            << " joined pairs ("
+            << util::Table::integer(static_cast<long long>(summary.duplicate_guids))
+            << " duplicate GUIDs removed)\n\n";
+
+  // 3. Strategy shoot-out (paper Section V).
+  std::vector<std::unique_ptr<core::Strategy>> strategies;
+  strategies.push_back(std::make_unique<core::StaticRuleset>(min_support));
+  strategies.push_back(std::make_unique<core::SlidingWindow>(min_support));
+  strategies.push_back(std::make_unique<core::LazySlidingWindow>(min_support, 10));
+  strategies.push_back(
+      std::make_unique<core::AdaptiveSlidingWindow>(min_support, 10));
+  strategies.push_back(
+      std::make_unique<core::AdaptiveSlidingWindow>(min_support, 50));
+  strategies.push_back(std::make_unique<core::IncrementalRuleset>(min_support));
+
+  util::Table table({"strategy", "avg coverage", "avg success", "min cov",
+                     "rule sets", "blocks/regen"});
+  for (const auto& strategy : strategies) {
+    const core::SimulationResult result =
+        core::run_trace_simulation(*strategy, db.pairs(), block_size);
+    table.row({result.strategy, util::Table::num(result.avg_coverage(), 3),
+               util::Table::num(result.avg_success(), 3),
+               util::Table::num(result.coverage.min(), 3),
+               std::to_string(result.rulesets_generated),
+               util::Table::num(result.blocks_per_generation(), 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: static decays (churn + reply-path drift), sliding"
+               " tracks the network,\nlazy trades staleness for fewer"
+               " regenerations, adaptive regenerates only on quality drops,\n"
+               "and incremental (the paper's future-work streaming variant)"
+               " dominates both measures.\n";
+  return 0;
+}

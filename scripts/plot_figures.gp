@@ -1,0 +1,43 @@
+# Re-plot the paper's figures from the CSVs the benches write under out/.
+#
+#   gnuplot scripts/plot_figures.gp        (from the repository root,
+#                                           after running the benches)
+#
+# Produces PNGs next to the CSVs: out/f1_sliding.png (Fig. 1),
+# out/f3_lazy.png (Fig. 3), out/f4_adaptive_n10.png (Fig. 4),
+# out/t2_static.png (the §V-A Static Ruleset series), and
+# out/t3_incremental.png (§VI streaming).
+
+set datafile separator ","
+set terminal pngcairo size 900,540 enhanced font "Sans,11"
+set key bottom left
+set xlabel "trial (block)"
+set ylabel "value"
+set yrange [0:1.05]
+set grid
+
+do for [fig in "f1_sliding f3_lazy f4_adaptive_n10 f4_adaptive_n50 t2_static t3_incremental"] {
+    infile = sprintf("out/%s.csv", fig)
+    outfile = sprintf("out/%s.png", fig)
+    set output outfile
+    set title sprintf("%s — coverage and success over time", fig)
+    plot infile using 1:2 with lines lw 2 title "coverage (α)", \
+         infile using 1:3 with lines lw 2 title "success (ρ)"
+}
+
+# Fig. 2: coverage under different block sizes.
+set output "out/f2_blocksize.png"
+set title "f2 — Sliding Window coverage by block size"
+plot "out/f2_blocksize.csv" using 1:2 with lines lw 2 title "2.5k", \
+     "" using 1:3 with lines lw 2 title "5k", \
+     "" using 1:4 with lines lw 2 title "10k", \
+     "" using 1:5 with lines lw 2 title "20k", \
+     "" using 1:6 with lines lw 2 title "50k"
+
+# N2: adoption sweep.
+set output "out/n2_adoption.png"
+set title "n2 — traffic vs adoption fraction"
+set xlabel "fraction of adopting nodes"
+set ylabel "messages per query"
+set yrange [*:*]
+plot "out/n2_adoption.csv" using 1:3 with linespoints lw 2 title "msgs/query"

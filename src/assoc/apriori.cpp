@@ -1,0 +1,151 @@
+#include "assoc/apriori.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace aar::assoc {
+
+namespace {
+
+/// Lexicographic order on canonical itemsets.
+bool lex_less(const Itemset& a, const Itemset& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// Join step: candidates of size k+1 from a lex-sorted level of k-itemsets.
+/// Two k-itemsets sharing their first k-1 items join into one candidate.
+std::vector<Itemset> join_level(const std::vector<FrequentItemset>& level) {
+  std::vector<Itemset> candidates;
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    for (std::size_t j = i + 1; j < level.size(); ++j) {
+      const Itemset& a = level[i].items;
+      const Itemset& b = level[j].items;
+      const std::size_t k = a.size();
+      if (!std::equal(a.begin(), a.end() - 1, b.begin())) {
+        break;  // lex-sorted: later j cannot share the prefix either
+      }
+      Itemset candidate = a;
+      candidate.push_back(b[k - 1]);
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+/// Prune step: every k-subset of a k+1 candidate must itself be frequent.
+bool all_subsets_frequent(const Itemset& candidate,
+                          const std::map<Itemset, std::uint64_t>& frequent) {
+  Itemset subset(candidate.size() - 1);
+  for (std::size_t skip = 0; skip < candidate.size(); ++skip) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < candidate.size(); ++r) {
+      if (r != skip) subset[w++] = candidate[r];
+    }
+    if (!frequent.contains(subset)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Rule::to_string() const {
+  auto items_str = [](const Itemset& items) {
+    std::ostringstream os;
+    os << '{';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i) os << ", ";
+      os << items[i];
+    }
+    os << '}';
+    return os.str();
+  };
+  std::ostringstream os;
+  os.precision(2);
+  os.setf(std::ios::fixed);
+  os << items_str(antecedent) << " -> " << items_str(consequent) << " (sup="
+     << support() << ", conf=" << confidence() << ")";
+  return os.str();
+}
+
+std::vector<FrequentItemset> Apriori::mine(const TransactionDb& db) const {
+  std::vector<FrequentItemset> result;
+  if (db.empty()) return result;
+
+  // L1 via a dense count array over the item id range.
+  std::vector<std::uint64_t> singles(db.item_bound(), 0);
+  for (const auto& txn : db.transactions()) {
+    for (Item item : txn) ++singles[item];
+  }
+  std::vector<FrequentItemset> level;
+  for (Item item = 0; item < db.item_bound(); ++item) {
+    if (singles[item] >= config_.min_support_count) {
+      level.push_back({{item}, singles[item]});
+    }
+  }
+
+  std::map<Itemset, std::uint64_t> frequent;
+  std::size_t k = 1;
+  while (!level.empty()) {
+    for (const auto& fi : level) frequent.emplace(fi.items, fi.count);
+    result.insert(result.end(), level.begin(), level.end());
+    if (config_.max_itemset_size != 0 && k >= config_.max_itemset_size) break;
+
+    std::vector<Itemset> candidates = join_level(level);
+    std::vector<FrequentItemset> next;
+    for (auto& candidate : candidates) {
+      if (candidate.size() > 2 && !all_subsets_frequent(candidate, frequent)) {
+        continue;
+      }
+      const std::uint64_t count = db.count_support(candidate);
+      if (count >= config_.min_support_count) {
+        next.push_back({std::move(candidate), count});
+      }
+    }
+    std::sort(next.begin(), next.end(),
+              [](const FrequentItemset& a, const FrequentItemset& b) {
+                return lex_less(a.items, b.items);
+              });
+    level = std::move(next);
+    ++k;
+  }
+  return result;
+}
+
+std::vector<Rule> Apriori::rules(const TransactionDb& db) const {
+  const std::vector<FrequentItemset> frequent_sets = mine(db);
+  std::map<Itemset, std::uint64_t> counts;
+  for (const auto& fi : frequent_sets) counts.emplace(fi.items, fi.count);
+
+  std::vector<Rule> rules;
+  for (const auto& fi : frequent_sets) {
+    const std::size_t n = fi.items.size();
+    if (n < 2) continue;
+    // Enumerate all non-empty proper subsets as antecedents via bitmask.
+    const std::uint64_t masks = (1ULL << n) - 1;
+    for (std::uint64_t mask = 1; mask < masks; ++mask) {
+      Itemset antecedent;
+      Itemset consequent;
+      for (std::size_t bit = 0; bit < n; ++bit) {
+        ((mask >> bit) & 1 ? antecedent : consequent).push_back(fi.items[bit]);
+      }
+      const std::uint64_t count_a = counts.at(antecedent);
+      const double conf = static_cast<double>(fi.count) /
+                          static_cast<double>(count_a);
+      if (conf + 1e-12 < config_.min_confidence) continue;
+      Rule rule;
+      rule.antecedent = std::move(antecedent);
+      rule.consequent = std::move(consequent);
+      rule.counts = RuleCounts{
+          .total = db.size(),
+          .count_a = count_a,
+          .count_c = counts.at(rule.consequent),
+          .count_ac = fi.count,
+      };
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+}  // namespace aar::assoc

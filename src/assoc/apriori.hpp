@@ -1,0 +1,68 @@
+#pragma once
+// Apriori frequent-itemset mining and association-rule generation
+// (Agrawal, Imielinski & Swami 1993 — references [15][16] of the paper).
+//
+// This is the general-purpose engine; the query-routing rules of the paper
+// are the 1-antecedent / 1-consequent special case built directly by
+// aar::core for speed, but this module is the substrate that grounds the
+// paper's Section III-A discussion (support/confidence pruning, the
+// diapers→beer and caviar→sugar examples) and is exercised by the
+// market_basket example and the property tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assoc/itemset.hpp"
+#include "assoc/metrics.hpp"
+
+namespace aar::assoc {
+
+struct FrequentItemset {
+  Itemset items;        ///< canonical
+  std::uint64_t count;  ///< number of supporting transactions
+};
+
+struct Rule {
+  Itemset antecedent;  ///< canonical, non-empty
+  Itemset consequent;  ///< canonical, non-empty, disjoint from antecedent
+  RuleCounts counts;   ///< raw counts for all metrics
+
+  [[nodiscard]] double support() const noexcept { return assoc::support(counts); }
+  [[nodiscard]] double confidence() const noexcept {
+    return assoc::confidence(counts);
+  }
+  [[nodiscard]] double lift() const noexcept { return assoc::lift(counts); }
+
+  /// "{1, 2} -> {3} (sup=0.40, conf=0.80)" — for logs and examples.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AprioriConfig {
+  /// Minimum absolute support count for a frequent itemset (>= 1).
+  std::uint64_t min_support_count = 1;
+  /// Minimum confidence for generated rules, in [0, 1].
+  double min_confidence = 0.0;
+  /// Largest itemset size to mine; 0 means unbounded.
+  std::size_t max_itemset_size = 0;
+};
+
+/// Level-wise Apriori miner.
+class Apriori {
+ public:
+  explicit Apriori(AprioriConfig config) : config_(config) {}
+
+  /// Mine all frequent itemsets, smallest first, each level sorted
+  /// lexicographically.  Deterministic.
+  [[nodiscard]] std::vector<FrequentItemset> mine(const TransactionDb& db) const;
+
+  /// Generate all rules meeting min_confidence from the frequent itemsets of
+  /// `db`.  Every (antecedent, consequent) split of every frequent itemset of
+  /// size >= 2 is considered.
+  [[nodiscard]] std::vector<Rule> rules(const TransactionDb& db) const;
+
+ private:
+  AprioriConfig config_;
+};
+
+}  // namespace aar::assoc

@@ -1,0 +1,53 @@
+#include "assoc/itemset.hpp"
+
+#include <algorithm>
+
+namespace aar::assoc {
+
+void canonicalize(Itemset& items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+}
+
+bool is_subset(std::span<const Item> sub, std::span<const Item> super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+Itemset set_union(std::span<const Item> a, std::span<const Item> b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+Itemset set_difference(std::span<const Item> a, std::span<const Item> b) {
+  Itemset out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+void TransactionDb::add(Itemset transaction) {
+  canonicalize(transaction);
+  if (!transaction.empty()) {
+    item_bound_ = std::max(item_bound_, transaction.back() + 1);
+  }
+  transactions_.push_back(std::move(transaction));
+}
+
+std::uint64_t TransactionDb::count_support(std::span<const Item> items) const {
+  std::uint64_t count = 0;
+  for (const auto& txn : transactions_) {
+    if (is_subset(items, txn)) ++count;
+  }
+  return count;
+}
+
+double TransactionDb::support(std::span<const Item> items) const {
+  if (transactions_.empty()) return 0.0;
+  return static_cast<double>(count_support(items)) /
+         static_cast<double>(transactions_.size());
+}
+
+}  // namespace aar::assoc

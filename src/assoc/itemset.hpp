@@ -1,0 +1,55 @@
+#pragma once
+// Items, itemsets and transaction databases — the vocabulary of association
+// analysis (paper Section III-A).  Items are dense integer ids; itemsets are
+// sorted, duplicate-free vectors so subset tests are std::includes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aar::assoc {
+
+using Item = std::uint32_t;
+using Itemset = std::vector<Item>;
+
+/// Sort and deduplicate in place, establishing the canonical form.
+void canonicalize(Itemset& items);
+
+/// True when `sub` ⊆ `super`; both must be canonical.
+[[nodiscard]] bool is_subset(std::span<const Item> sub, std::span<const Item> super);
+
+/// Canonical union of two canonical itemsets.
+[[nodiscard]] Itemset set_union(std::span<const Item> a, std::span<const Item> b);
+
+/// Canonical difference a \ b of two canonical itemsets.
+[[nodiscard]] Itemset set_difference(std::span<const Item> a, std::span<const Item> b);
+
+/// A transaction database: the "market baskets".
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Append a transaction; it is canonicalized on insertion.
+  void add(Itemset transaction);
+
+  [[nodiscard]] std::size_t size() const noexcept { return transactions_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return transactions_.empty(); }
+  [[nodiscard]] std::span<const Itemset> transactions() const noexcept {
+    return transactions_;
+  }
+
+  /// Number of transactions containing every item of `items` (canonical).
+  [[nodiscard]] std::uint64_t count_support(std::span<const Item> items) const;
+
+  /// Support as a fraction of all transactions; 0 when the DB is empty.
+  [[nodiscard]] double support(std::span<const Item> items) const;
+
+  /// Largest item id present plus one (0 when empty); bounds dense arrays.
+  [[nodiscard]] Item item_bound() const noexcept { return item_bound_; }
+
+ private:
+  std::vector<Itemset> transactions_;
+  Item item_bound_ = 0;
+};
+
+}  // namespace aar::assoc

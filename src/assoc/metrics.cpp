@@ -1,0 +1,47 @@
+#include "assoc/metrics.hpp"
+
+namespace aar::assoc {
+
+namespace {
+constexpr double kConvictionInf = 1e18;
+
+double ratio(std::uint64_t num, std::uint64_t den) noexcept {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double support(const RuleCounts& counts) noexcept {
+  return ratio(counts.count_ac, counts.total);
+}
+
+double confidence(const RuleCounts& counts) noexcept {
+  return ratio(counts.count_ac, counts.count_a);
+}
+
+double lift(const RuleCounts& counts) noexcept {
+  const double conf = confidence(counts);
+  const double p_c = ratio(counts.count_c, counts.total);
+  return p_c == 0.0 ? 0.0 : conf / p_c;
+}
+
+double leverage(const RuleCounts& counts) noexcept {
+  const double p_ac = ratio(counts.count_ac, counts.total);
+  const double p_a = ratio(counts.count_a, counts.total);
+  const double p_c = ratio(counts.count_c, counts.total);
+  return p_ac - p_a * p_c;
+}
+
+double conviction(const RuleCounts& counts) noexcept {
+  if (counts.total == 0 || counts.count_a == 0) return 0.0;
+  const double p_not_c = 1.0 - ratio(counts.count_c, counts.total);
+  const double conf = confidence(counts);
+  if (conf >= 1.0) return kConvictionInf;
+  return p_not_c / (1.0 - conf);
+}
+
+double jaccard(const RuleCounts& counts) noexcept {
+  const std::uint64_t denom = counts.count_a + counts.count_c - counts.count_ac;
+  return ratio(counts.count_ac, denom);
+}
+
+}  // namespace aar::assoc

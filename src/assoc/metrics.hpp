@@ -1,0 +1,42 @@
+#pragma once
+// Interestingness measures for association rules (paper Section III-A).
+//
+// All measures are computed from three raw counts over N transactions:
+//   count_a  — transactions containing the antecedent A
+//   count_c  — transactions containing the consequent C
+//   count_ac — transactions containing both
+// The paper discusses support and confidence (its caviar/sugar example);
+// lift, leverage, conviction and Jaccard are the standard companions used by
+// the confidence-based pruning extension it proposes as future work.
+
+#include <cstdint>
+
+namespace aar::assoc {
+
+struct RuleCounts {
+  std::uint64_t total = 0;     ///< N, number of transactions
+  std::uint64_t count_a = 0;   ///< |{t : A ⊆ t}|
+  std::uint64_t count_c = 0;   ///< |{t : C ⊆ t}|
+  std::uint64_t count_ac = 0;  ///< |{t : A ∪ C ⊆ t}|
+};
+
+/// support(A→C) = P(A ∪ C).  0 when N == 0.
+[[nodiscard]] double support(const RuleCounts& counts) noexcept;
+
+/// confidence(A→C) = P(C | A).  0 when count_a == 0.
+[[nodiscard]] double confidence(const RuleCounts& counts) noexcept;
+
+/// lift(A→C) = P(C|A) / P(C).  1 means independence; 0 when undefined.
+[[nodiscard]] double lift(const RuleCounts& counts) noexcept;
+
+/// leverage(A→C) = P(A∪C) − P(A)·P(C).  0 means independence.
+[[nodiscard]] double leverage(const RuleCounts& counts) noexcept;
+
+/// conviction(A→C) = P(A)·P(¬C) / P(A ∪ ¬C).  +inf for exact rules;
+/// returns a large sentinel (1e18) in that case, 0 when undefined.
+[[nodiscard]] double conviction(const RuleCounts& counts) noexcept;
+
+/// Jaccard(A, C) = P(A∪C) / (P(A) + P(C) − P(A∪C)).  0 when undefined.
+[[nodiscard]] double jaccard(const RuleCounts& counts) noexcept;
+
+}  // namespace aar::assoc

@@ -1,0 +1,58 @@
+#include "core/forwarder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace aar::core {
+
+ForwardDecision Forwarder::decide(const RuleSet& rules, HostId source,
+                                  util::Rng& rng) const {
+  ForwardDecision decision;
+  if (!rules.covers(source)) {
+    decision.flood = true;
+    return decision;
+  }
+  decision.targets = config_.mode == SelectionMode::kTopK
+                         ? rules.top_k(source, config_.k)
+                         : rules.random_k(source, config_.k, rng);
+  decision.flood = decision.targets.empty();
+  return decision;
+}
+
+BlockMeasures evaluate_forwarding(const RuleSet& rules,
+                                  std::span<const QueryReplyPair> block,
+                                  const Forwarder& forwarder, util::Rng& rng) {
+  // Per-GUID state, as in core::evaluate; additionally cache the forwarding
+  // decision per query so one choice is made per query, not per reply.
+  struct QueryState {
+    std::uint8_t flags = 0;  // bit 0 covered, bit 1 counted successful
+    std::vector<HostId> targets;
+  };
+  std::unordered_map<trace::Guid, QueryState> state;
+  state.reserve(block.size());
+
+  BlockMeasures measures;
+  for (const QueryReplyPair& pair : block) {
+    auto [it, fresh] = state.try_emplace(pair.guid);
+    QueryState& qs = it->second;
+    if (fresh) {
+      ++measures.total_queries;
+      const ForwardDecision decision =
+          forwarder.decide(rules, pair.source_host, rng);
+      if (decision.rule_routed()) {
+        ++measures.covered;
+        qs.flags |= 1;
+        qs.targets = decision.targets;
+      }
+    }
+    if ((qs.flags & 1) && !(qs.flags & 2) &&
+        std::find(qs.targets.begin(), qs.targets.end(),
+                  pair.replying_neighbor) != qs.targets.end()) {
+      ++measures.successful;
+      qs.flags |= 2;
+    }
+  }
+  return measures;
+}
+
+}  // namespace aar::core

@@ -1,0 +1,32 @@
+#include "core/measures.hpp"
+
+#include <unordered_map>
+
+namespace aar::core {
+
+BlockMeasures evaluate(const RuleSet& ruleset,
+                       std::span<const QueryReplyPair> block) {
+  // Per-GUID state: bit 0 = covered, bit 1 = already counted successful.
+  std::unordered_map<trace::Guid, std::uint8_t> state;
+  state.reserve(block.size());
+
+  BlockMeasures measures;
+  for (const QueryReplyPair& pair : block) {
+    auto [it, fresh] = state.try_emplace(pair.guid, std::uint8_t{0});
+    if (fresh) {
+      ++measures.total_queries;
+      if (ruleset.covers(pair.source_host)) {
+        ++measures.covered;
+        it->second |= 1;
+      }
+    }
+    if ((it->second & 1) && !(it->second & 2) &&
+        ruleset.matches(pair.source_host, pair.replying_neighbor)) {
+      ++measures.successful;
+      it->second |= 2;
+    }
+  }
+  return measures;
+}
+
+}  // namespace aar::core

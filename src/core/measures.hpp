@@ -1,0 +1,48 @@
+#pragma once
+// Rule-set quality measures (paper Section III-B.2, Equations 1 and 2).
+//
+//   coverage α = n / N   — N: unique answered queries in the test block;
+//                          n: those whose source host is an antecedent.
+//   success  ρ = s / n   — s: covered queries where (source host, replying
+//                          neighbor) is an (antecedent, consequent) rule.
+//
+// Both are needed: high ρ with low α means the rules that exist route well
+// but match few queries; high α with low ρ means many queries match rules
+// that forward to the wrong neighbor.
+
+#include <cstdint>
+#include <span>
+
+#include "core/ruleset.hpp"
+#include "trace/record.hpp"
+
+namespace aar::core {
+
+struct BlockMeasures {
+  std::uint64_t total_queries = 0;   ///< N  (unique answered queries)
+  std::uint64_t covered = 0;         ///< n
+  std::uint64_t successful = 0;      ///< s
+
+  /// α = n / N; 0 for an empty block.
+  [[nodiscard]] double coverage() const noexcept {
+    return total_queries == 0
+               ? 0.0
+               : static_cast<double>(covered) / static_cast<double>(total_queries);
+  }
+  /// ρ = s / n; 0 when nothing is covered.
+  [[nodiscard]] double success() const noexcept {
+    return covered == 0
+               ? 0.0
+               : static_cast<double>(successful) / static_cast<double>(covered);
+  }
+};
+
+/// Evaluate a rule set against a test block of query–reply pairs.
+///
+/// Queries are identified by GUID: a query answered through several
+/// neighbors counts once toward N and n, and toward s if *any* of its
+/// replying neighbors matches a rule for its source host.
+[[nodiscard]] BlockMeasures evaluate(const RuleSet& ruleset,
+                                     std::span<const QueryReplyPair> block);
+
+}  // namespace aar::core

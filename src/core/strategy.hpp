@@ -1,0 +1,222 @@
+#pragma once
+// Rule-set maintenance strategies (paper Sections III-B.3 – III-B.6 plus the
+// Section VI streaming extension).
+//
+// The driver (TraceSimulator) replays the trace in blocks.  Block 0 is the
+// bootstrap block every strategy may mine; each later block is first *tested*
+// against the strategy's current rule set (producing the coverage / success
+// measures) and then offered to the strategy, which decides whether to
+// regenerate.  This matches the paper's RULESET-TEST / GENERATE-RULESET
+// pseudocode: Sliding Window regenerates after every block, Lazy every P
+// blocks, Adaptive only when the measured quality drops below its adaptive
+// thresholds.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "assoc/stream.hpp"
+#include "core/measures.hpp"
+#include "core/ruleset.hpp"
+
+namespace aar::core {
+
+using Block = std::span<const QueryReplyPair>;
+
+class Strategy {
+ public:
+  explicit Strategy(std::uint32_t min_support) : min_support_(min_support) {}
+  virtual ~Strategy() = default;
+
+  Strategy(const Strategy&) = delete;
+  Strategy& operator=(const Strategy&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once with block 0 before any testing.  Default: mine it.
+  virtual void bootstrap(Block first_block) { regenerate(first_block); }
+
+  /// Test the current rule set against `block`, then apply the strategy's
+  /// update policy.  Returns the measures of the *test* (before any update).
+  virtual BlockMeasures test_block(Block block) = 0;
+
+  /// Rule sets mined so far (bootstrap included) — the paper reports
+  /// "new rule sets were generated every 1.7 blocks" from this counter.
+  [[nodiscard]] std::uint64_t rulesets_generated() const noexcept {
+    return rulesets_generated_;
+  }
+  [[nodiscard]] const RuleSet& current_ruleset() const noexcept { return current_; }
+  [[nodiscard]] std::uint32_t min_support() const noexcept { return min_support_; }
+
+ protected:
+  void regenerate(Block block) {
+    current_ = RuleSet::build(block, min_support_);
+    ++rulesets_generated_;
+  }
+
+  RuleSet current_;
+
+ private:
+  std::uint32_t min_support_;
+  std::uint64_t rulesets_generated_ = 0;
+};
+
+/// STATIC-RULESET (III-B.3): mine once from block 0, never refresh.
+class StaticRuleset final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] std::string name() const override { return "static"; }
+  BlockMeasures test_block(Block block) override {
+    return evaluate(current_, block);
+  }
+};
+
+/// SLIDING-WINDOW (III-B.4): every block b is tested against the rule set
+/// mined from block b-1.
+class SlidingWindow final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] std::string name() const override { return "sliding"; }
+  BlockMeasures test_block(Block block) override {
+    const BlockMeasures measures = evaluate(current_, block);
+    regenerate(block);  // becomes the rule set for block b+1
+    return measures;
+  }
+};
+
+/// LAZY-SLIDING-WINDOW (III-B.5): regenerate only after the rule set has
+/// been used for `period` blocks.
+class LazySlidingWindow final : public Strategy {
+ public:
+  LazySlidingWindow(std::uint32_t min_support, std::uint32_t period)
+      : Strategy(min_support), period_(period) {}
+  [[nodiscard]] std::string name() const override {
+    return "lazy(" + std::to_string(period_) + ")";
+  }
+  BlockMeasures test_block(Block block) override {
+    const BlockMeasures measures = evaluate(current_, block);
+    if (++used_ >= period_) {
+      regenerate(block);
+      used_ = 0;
+    }
+    return measures;
+  }
+  [[nodiscard]] std::uint32_t period() const noexcept { return period_; }
+
+ private:
+  std::uint32_t period_;
+  std::uint32_t used_ = 0;
+};
+
+/// ADAPTIVE-SLIDING-WINDOW (III-B.6): regenerate when measured coverage or
+/// success falls below thresholds that track the mean of the previous
+/// `history` measured values (initialized to `initial_threshold`, the
+/// paper's 0.7, until history accumulates).  `threshold_scale` leaves a
+/// small tolerance band under the running mean — with scale 1.0 roughly
+/// every other block dips below its own mean and the strategy degenerates
+/// toward Sliding Window.
+class AdaptiveSlidingWindow final : public Strategy {
+ public:
+  AdaptiveSlidingWindow(std::uint32_t min_support, std::size_t history,
+                        double initial_threshold = 0.7,
+                        double threshold_scale = 0.985)
+      : Strategy(min_support),
+        history_(history),
+        initial_threshold_(initial_threshold),
+        threshold_scale_(threshold_scale) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "adaptive(N=" + std::to_string(history_) + ")";
+  }
+  BlockMeasures test_block(Block block) override;
+
+  /// Thresholds that would be applied to the next block (tests/inspection).
+  [[nodiscard]] double coverage_threshold() const;
+  [[nodiscard]] double success_threshold() const;
+
+ private:
+  [[nodiscard]] static double threshold_of(const std::vector<double>& window,
+                                           double initial);
+
+  std::size_t history_;
+  double initial_threshold_;
+  double threshold_scale_;
+  std::vector<double> coverage_history_;
+  std::vector<double> success_history_;
+};
+
+/// Streaming extension (Section VI): counts are updated per pair with
+/// exponential decay, so the rule set is always current.  Evaluation is
+/// prequential (test-then-train on each pair).  The paper reports α, ρ
+/// consistently above 0.90 for this approach.
+class IncrementalRuleset final : public Strategy {
+ public:
+  /// `half_life_pairs`: decayed count halves every this many pairs.
+  /// `min_effective_support`: decayed count needed for a rule to be active.
+  IncrementalRuleset(std::uint32_t min_support, double half_life_pairs = 10'000.0,
+                     double min_effective_support = 2.5);
+
+  [[nodiscard]] std::string name() const override { return "incremental"; }
+  void bootstrap(Block first_block) override;
+  BlockMeasures test_block(Block block) override;
+
+  [[nodiscard]] std::size_t active_rules() const;
+
+ private:
+  void train(const QueryReplyPair& pair);
+  [[nodiscard]] bool rule_active(HostId source, HostId replier) const;
+  [[nodiscard]] bool host_covered(HostId source) const;
+  void decay_all();
+
+  double decay_per_pair_;
+  double min_effective_;
+  std::uint64_t pairs_seen_ = 0;
+  std::uint64_t pairs_at_last_decay_ = 0;
+  // (source<<32 | replier) -> decayed count, plus a per-source index of the
+  // repliers seen for that source (kept small by the decay sweep) so the
+  // coverage test never scans the whole pair table.
+  std::unordered_map<std::uint64_t, double> counts_;
+  std::unordered_map<HostId, std::vector<HostId>> repliers_of_;
+};
+
+/// Streaming variant built on Lossy Counting (Manku & Motwani) instead of
+/// exponential decay — the bounded-memory realization of the Section VI
+/// pointer to data-stream mining [18].  Two counters rotate every
+/// `epoch_pairs` items; a rule is active when its combined estimated count
+/// over the current and previous epoch reaches `min_effective_support`.
+/// Prequential evaluation, like IncrementalRuleset.
+class StreamingRuleset final : public Strategy {
+ public:
+  StreamingRuleset(std::uint32_t min_support, double epsilon = 1e-3,
+                   std::uint64_t epoch_pairs = 10'000,
+                   double min_effective_support = 3.0);
+
+  [[nodiscard]] std::string name() const override { return "streaming"; }
+  void bootstrap(Block first_block) override;
+  BlockMeasures test_block(Block block) override;
+
+  /// Entries currently held across both counters (memory footprint probe).
+  [[nodiscard]] std::size_t table_size() const {
+    return current_.table_size() + previous_.table_size();
+  }
+
+ private:
+  void train(const QueryReplyPair& pair);
+  [[nodiscard]] std::uint64_t pair_count(HostId source, HostId replier) const;
+  [[nodiscard]] bool rule_active(HostId source, HostId replier) const {
+    return pair_count(source, replier) >=
+           static_cast<std::uint64_t>(min_effective_);
+  }
+  [[nodiscard]] bool host_covered(HostId source) const;
+
+  double min_effective_;
+  std::uint64_t epoch_pairs_;
+  std::uint64_t pairs_in_epoch_ = 0;
+  assoc::LossyCounter current_;
+  assoc::LossyCounter previous_;
+  // Per-source replier index, rebuilt from the counters at epoch rotation.
+  std::unordered_map<HostId, std::vector<HostId>> repliers_of_;
+};
+
+}  // namespace aar::core

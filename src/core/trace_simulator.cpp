@@ -1,0 +1,43 @@
+#include "core/trace_simulator.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace aar::core {
+
+std::string SimulationResult::to_string() const {
+  std::ostringstream os;
+  os.precision(3);
+  os.setf(std::ios::fixed);
+  os << strategy << ": blocks=" << blocks_tested << " avg_coverage="
+     << avg_coverage() << " avg_success=" << avg_success()
+     << " rulesets=" << rulesets_generated
+     << " blocks/regen=" << blocks_per_generation();
+  return os.str();
+}
+
+SimulationResult run_trace_simulation(Strategy& strategy,
+                                      std::span<const trace::QueryReplyPair> pairs,
+                                      std::size_t block_size) {
+  assert(block_size > 0);
+  const std::size_t blocks = pairs.size() / block_size;
+  assert(blocks >= 2 && "need a bootstrap block plus at least one test block");
+
+  SimulationResult result;
+  result.strategy = strategy.name();
+  result.block_size = block_size;
+  result.min_support = strategy.min_support();
+
+  strategy.bootstrap(pairs.subspan(0, block_size));
+  for (std::size_t b = 1; b < blocks; ++b) {
+    const BlockMeasures measures =
+        strategy.test_block(pairs.subspan(b * block_size, block_size));
+    result.coverage.add(measures.coverage());
+    result.success.add(measures.success());
+    ++result.blocks_tested;
+  }
+  result.rulesets_generated = strategy.rulesets_generated();
+  return result;
+}
+
+}  // namespace aar::core

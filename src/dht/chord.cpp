@@ -1,0 +1,189 @@
+#include "dht/chord.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aar::dht {
+
+namespace {
+/// Sorted (by ring id) indices of the live nodes.
+std::vector<std::size_t> live_snapshot(const std::vector<Key>& ids,
+                                       const std::vector<bool>& alive) {
+  std::vector<std::size_t> live;
+  live.reserve(ids.size());
+  for (std::size_t n = 0; n < ids.size(); ++n) {
+    if (alive[n]) live.push_back(n);
+  }
+  std::sort(live.begin(), live.end(),
+            [&ids](std::size_t a, std::size_t b) { return ids[a] < ids[b]; });
+  return live;
+}
+
+/// Index (into `sorted`) of the first node whose id >= key, wrapping.
+std::size_t successor_position(const std::vector<std::size_t>& sorted,
+                               const std::vector<Key>& ids, Key key) {
+  assert(!sorted.empty());
+  const auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), key,
+      [&ids](std::size_t node, Key k) { return ids[node] < k; });
+  return it == sorted.end() ? 0
+                            : static_cast<std::size_t>(it - sorted.begin());
+}
+}  // namespace
+
+Key ChordRing::hash_key(std::uint64_t value) noexcept {
+  std::uint64_t state = value;
+  return static_cast<Key>(util::splitmix64(state) >> 32);
+}
+
+ChordRing::ChordRing(const ChordConfig& config)
+    : successor_list_len_(config.successor_list) {
+  assert(config.nodes >= 2);
+  util::Rng rng(config.seed);
+  ids_.reserve(config.nodes);
+  // Distinct ring ids (collisions are re-drawn; 2^32 >> nodes).
+  std::vector<Key> sorted_ids;
+  while (ids_.size() < config.nodes) {
+    const auto id = static_cast<Key>(rng());
+    const auto it = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), id);
+    if (it != sorted_ids.end() && *it == id) continue;
+    sorted_ids.insert(it, id);
+    ids_.push_back(id);
+  }
+  alive_.assign(ids_.size(), true);
+  alive_count_ = ids_.size();
+  by_id_.resize(ids_.size());
+  for (std::size_t n = 0; n < ids_.size(); ++n) by_id_[n] = n;
+  std::sort(by_id_.begin(), by_id_.end(), [this](std::size_t a, std::size_t b) {
+    return ids_[a] < ids_[b];
+  });
+  fingers_.resize(ids_.size());
+  successors_.resize(ids_.size());
+  stabilize();
+}
+
+std::optional<std::size_t> ChordRing::responsible(Key key) const {
+  if (alive_count_ == 0) return std::nullopt;
+  std::size_t pos = successor_position(by_id_, ids_, key);
+  for (std::size_t step = 0; step < by_id_.size(); ++step) {
+    const std::size_t node = by_id_[(pos + step) % by_id_.size()];
+    if (alive_[node]) return node;
+  }
+  return std::nullopt;
+}
+
+void ChordRing::build_tables_for(std::size_t node) {
+  const std::vector<std::size_t> live = live_snapshot(ids_, alive_);
+  auto& fingers = fingers_[node];
+  fingers.resize(kFingerBits);
+  for (std::size_t bit = 0; bit < kFingerBits; ++bit) {
+    const Key target = static_cast<Key>(ids_[node] + (1ull << bit));
+    fingers[bit] = live[successor_position(live, ids_, target)];
+  }
+  auto& successors = successors_[node];
+  successors.clear();
+  const std::size_t base =
+      successor_position(live, ids_, static_cast<Key>(ids_[node] + 1));
+  for (std::size_t i = 0; i < successor_list_len_ && i < live.size(); ++i) {
+    successors.push_back(live[(base + i) % live.size()]);
+  }
+}
+
+void ChordRing::stabilize() {
+  for (std::size_t node = 0; node < ids_.size(); ++node) {
+    if (alive_[node]) build_tables_for(node);
+  }
+}
+
+std::size_t ChordRing::fail_random(double fraction, util::Rng& rng) {
+  std::vector<std::size_t> live;
+  for (std::size_t n = 0; n < ids_.size(); ++n) {
+    if (alive_[n]) live.push_back(n);
+  }
+  rng.shuffle(std::span<std::size_t>(live));
+  const auto deaths = static_cast<std::size_t>(
+      fraction * static_cast<double>(live.size()));
+  for (std::size_t i = 0; i < deaths; ++i) {
+    alive_[live[i]] = false;
+    --alive_count_;
+  }
+  return deaths;
+}
+
+std::size_t ChordRing::join(util::Rng& rng) {
+  Key id;
+  do {
+    id = static_cast<Key>(rng());
+  } while (std::any_of(ids_.begin(), ids_.end(),
+                       [id](Key existing) { return existing == id; }));
+  const std::size_t node = ids_.size();
+  ids_.push_back(id);
+  alive_.push_back(true);
+  ++alive_count_;
+  const auto it = std::lower_bound(
+      by_id_.begin(), by_id_.end(), id,
+      [this](std::size_t n, Key k) { return ids_[n] < k; });
+  by_id_.insert(it, node);
+  fingers_.emplace_back();
+  successors_.emplace_back();
+  // Cheap join: only the newcomer's own tables are built; everyone else
+  // learns about it at the next stabilize() — exactly the window the
+  // paper's "complicates node joins" critique concerns.
+  build_tables_for(node);
+  return node;
+}
+
+LookupResult ChordRing::lookup(std::size_t origin, Key key) const {
+  assert(origin < ids_.size() && alive_[origin]);
+  LookupResult result;
+  const std::optional<std::size_t> truth = responsible(key);
+  if (!truth.has_value()) return result;
+
+  // A node knows its own arc (it tracks its predecessor in real Chord).
+  if (*truth == origin) {
+    result.ok = true;
+    result.owner = origin;
+    return result;
+  }
+
+  std::size_t current = origin;
+  const std::size_t hop_cap = 2 * kFingerBits + successor_list_len_;
+  while (result.hops < hop_cap) {
+    // First live successor (skipping over failed entries).
+    std::size_t successor = SIZE_MAX;
+    for (std::size_t candidate : successors_[current]) {
+      if (alive_[candidate]) {
+        successor = candidate;
+        break;
+      }
+    }
+    if (successor == SIZE_MAX) return result;  // isolated: lookup fails
+
+    if (in_arc(key, ids_[current], ids_[successor])) {
+      // The key's owner is the live successor — one final hop.
+      ++result.hops;
+      ++result.messages;
+      result.owner = successor;
+      result.ok = successor == *truth;
+      return result;
+    }
+
+    // Closest preceding live finger that makes progress toward the key.
+    std::size_t next = successor;
+    for (std::size_t bit = kFingerBits; bit-- > 0;) {
+      const std::size_t finger = fingers_[current][bit];
+      if (!alive_[finger]) continue;
+      if (in_arc(ids_[finger], ids_[current], key) && finger != current) {
+        next = finger;
+        break;
+      }
+    }
+    if (next == current) return result;  // no live pointer makes progress
+    ++result.hops;
+    ++result.messages;
+    current = next;
+  }
+  return result;  // hop cap exceeded (routing loop through stale state)
+}
+
+}  // namespace aar::dht

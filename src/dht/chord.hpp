@@ -1,0 +1,105 @@
+#pragma once
+// Chord distributed hash table simulator (Stoica et al., SIGCOMM 2001 —
+// reference [12] of the paper).
+//
+// The paper's related-work Section II contrasts unstructured routing against
+// the structured category (CAN / Chord / Pastry): lookups are O(log N), but
+// "the rigid structure of the network complicates node joins and departures,
+// and if a certain set of the nodes fail simultaneously, the network can
+// become disconnected.  Another problem is that queries must match the
+// content exactly".  This substrate lets the N4 bench measure all three
+// claims against the same workload the unstructured policies run.
+//
+// Model: a 32-bit identifier ring; each node owns the arc between its
+// predecessor and itself; node n's finger i points at successor(n + 2^i).
+// Lookups route greedily through the closest preceding finger.  Failures
+// mark nodes dead *without* repairing other nodes' state (the pre-
+// stabilization window); successor lists provide the standard fallback;
+// stabilize() then rebuilds pointers from the live population.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aar::dht {
+
+using Key = std::uint32_t;  ///< position on the 2^32 identifier ring
+
+struct ChordConfig {
+  std::size_t nodes = 1'024;
+  std::size_t successor_list = 8;  ///< r successors kept per node
+  std::uint64_t seed = 1;
+};
+
+struct LookupResult {
+  bool ok = false;            ///< reached the key's responsible live node
+  std::uint32_t hops = 0;     ///< routing hops taken (0 = origin owns key)
+  std::uint32_t messages = 0; ///< request messages sent (== hops here)
+  std::size_t owner = SIZE_MAX;  ///< index of the responsible node
+};
+
+class ChordRing {
+ public:
+  explicit ChordRing(const ChordConfig& config);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] std::size_t alive_count() const noexcept { return alive_count_; }
+  [[nodiscard]] Key id_of(std::size_t node) const { return ids_[node]; }
+  [[nodiscard]] bool is_alive(std::size_t node) const { return alive_[node]; }
+
+  /// The live node responsible for `key` (first live node clockwise from
+  /// key), computed from global knowledge — the ground truth lookups are
+  /// checked against.  Nullopt when every node is dead.
+  [[nodiscard]] std::optional<std::size_t> responsible(Key key) const;
+
+  /// Route a lookup from `origin` (must be alive).  Honors stale fingers:
+  /// hops through dead fingers are skipped via the finger table and the
+  /// successor list, and the lookup fails when a node has no live pointer
+  /// that makes progress.
+  [[nodiscard]] LookupResult lookup(std::size_t origin, Key key) const;
+
+  /// Kill `fraction` of the live nodes uniformly at random WITHOUT repairing
+  /// anyone's fingers (the simultaneous-failure scenario of the paper's
+  /// critique).  Returns how many nodes died.
+  std::size_t fail_random(double fraction, util::Rng& rng);
+
+  /// Rebuild every live node's fingers and successor list from the live
+  /// population (the steady state Chord's stabilization converges to).
+  void stabilize();
+
+  /// Add one node with a random id; only the new node's own tables and its
+  /// immediate neighbors' successor entries are fixed (cheap join); other
+  /// nodes route around via fingers until stabilize().
+  std::size_t join(util::Rng& rng);
+
+  /// Hash helper mapping application objects (e.g. file ids) onto the ring.
+  [[nodiscard]] static Key hash_key(std::uint64_t value) noexcept;
+
+ private:
+  /// Clockwise distance from a to b on the ring.
+  [[nodiscard]] static std::uint64_t distance(Key a, Key b) noexcept {
+    return (static_cast<std::uint64_t>(b) - a) & 0xffffffffull;
+  }
+  /// True when `key` lies in the half-open clockwise arc (from, to].
+  [[nodiscard]] static bool in_arc(Key key, Key from, Key to) noexcept {
+    return distance(from, key) != 0 && distance(from, key) <= distance(from, to);
+  }
+
+  void build_tables_for(std::size_t node);
+  [[nodiscard]] std::size_t successor_index_of_key(Key key) const;
+
+  static constexpr std::size_t kFingerBits = 32;
+
+  std::vector<Key> ids_;                 ///< node -> ring id (not sorted)
+  std::vector<std::size_t> by_id_;       ///< node indices sorted by id
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+  std::size_t successor_list_len_;
+  std::vector<std::vector<std::size_t>> fingers_;     ///< node -> 32 entries
+  std::vector<std::vector<std::size_t>> successors_;  ///< node -> r entries
+};
+
+}  // namespace aar::dht

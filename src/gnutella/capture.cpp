@@ -1,0 +1,108 @@
+#include "gnutella/capture.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace aar::gnutella {
+
+trace::QueryKey normalize_query(const std::string& search) noexcept {
+  std::uint32_t hash = 2166136261u;  // FNV-1a 32
+  for (char ch : search) {
+    hash ^= static_cast<std::uint8_t>(
+        std::tolower(static_cast<unsigned char>(ch)));
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+CaptureNode::CaptureNode(std::vector<NeighborId> neighbors,
+                         std::function<double()> clock)
+    : neighbors_(std::move(neighbors)), clock_(std::move(clock)) {}
+
+RelayDecision CaptureNode::on_message(NeighborId from, const Message& message) {
+  RelayDecision decision;
+  const Header& header = message.header;
+  const std::uint64_t guid = fold_guid(header.guid);
+
+  switch (header.type) {
+    case MessageType::kQuery: {
+      ++queries_seen_;
+      // Capture BEFORE the duplicate check: the paper's raw table contained
+      // duplicate GUID rows (it deduplicated during the database import).
+      db_.add_query(trace::QueryRecord{
+          .time = clock_(),
+          .guid = guid,
+          .source_host = from,
+          .query = normalize_query(message.query.search),
+      });
+      if (query_route_.contains(guid)) {
+        ++duplicates_dropped_;
+        decision.drop = true;
+        decision.drop_reason = "duplicate GUID";
+        return decision;
+      }
+      query_route_.emplace(guid, from);
+      if (header.ttl <= 1) {
+        ++expired_dropped_;
+        decision.drop = true;
+        decision.drop_reason = "TTL expired";
+        return decision;
+      }
+      for (NeighborId neighbor : neighbors_) {
+        if (neighbor != from) decision.forward_to.push_back(neighbor);
+      }
+      return decision;
+    }
+    case MessageType::kQueryHit: {
+      ++hits_seen_;
+      for (const HitResult& result : message.query_hit.results) {
+        db_.add_reply(trace::ReplyRecord{
+            .time = clock_(),
+            .guid = guid,
+            .replying_neighbor = from,
+            .serving_host = static_cast<trace::HostId>(
+                fold_guid(message.query_hit.servent_guid) & 0x7fffffffu),
+            .file = normalize_query(result.file_name),
+        });
+      }
+      // Reverse-path routing: back toward whoever sent us the query.
+      const auto route = query_route_.find(guid);
+      if (route == query_route_.end()) {
+        decision.drop = true;
+        decision.drop_reason = "no reverse route";
+        return decision;
+      }
+      if (header.ttl <= 1) {
+        ++expired_dropped_;
+        decision.drop = true;
+        decision.drop_reason = "TTL expired";
+        return decision;
+      }
+      decision.forward_to.push_back(route->second);
+      return decision;
+    }
+    case MessageType::kPing: {
+      if (header.ttl <= 1) {
+        decision.drop = true;
+        decision.drop_reason = "TTL expired";
+        return decision;
+      }
+      for (NeighborId neighbor : neighbors_) {
+        if (neighbor != from) decision.forward_to.push_back(neighbor);
+      }
+      return decision;
+    }
+    case MessageType::kPong:
+    case MessageType::kPush:
+      // Routed descriptors we relay opaquely toward their targets; the
+      // capture does not track ping/push routes, so they terminate here.
+      decision.drop = true;
+      decision.drop_reason = "unrouted descriptor";
+      return decision;
+  }
+  decision.drop = true;
+  decision.drop_reason = "unknown type";
+  return decision;
+}
+
+}  // namespace aar::gnutella

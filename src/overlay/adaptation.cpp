@@ -1,0 +1,47 @@
+#include "overlay/adaptation.hpp"
+
+#include "overlay/assoc_policy.hpp"
+
+namespace aar::overlay {
+
+AdaptationReport adapt_topology(Network& network,
+                                std::size_t max_new_links_per_node) {
+  AdaptationReport report;
+  const auto n = static_cast<NodeId>(network.num_nodes());
+  for (NodeId x = 0; x < n; ++x) {
+    auto* x_policy =
+        dynamic_cast<AssociationRoutingPolicy*>(&network.policy(x));
+    if (x_policy == nullptr) continue;
+    ++report.adopters;
+
+    std::size_t added_here = 0;
+    // X's rules for its *own* queries have antecedent == X (self-issued
+    // queries are "received from self").
+    for (const core::Consequent& to_y : x_policy->rules().consequents(x)) {
+      if (added_here >= max_new_links_per_node) break;
+      const auto y = static_cast<NodeId>(to_y.neighbor);
+      if (y >= n || y == x) continue;
+      auto* y_policy =
+          dynamic_cast<AssociationRoutingPolicy*>(&network.policy(y));
+      if (y_policy == nullptr) continue;  // Y cannot answer the question
+      ++report.asked;
+      // "To which node would you forward queries arriving from me?"
+      const std::vector<core::HostId> z_candidates =
+          y_policy->rules().top_k(x, 1);
+      if (z_candidates.empty()) continue;
+      const auto z = static_cast<NodeId>(z_candidates.front());
+      if (z >= n || z == x || z == y) continue;
+      if (network.graph().has_edge(x, z)) {
+        ++report.already_linked;
+        continue;
+      }
+      if (network.add_link(x, z)) {
+        ++report.edges_added;
+        ++added_here;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace aar::overlay

@@ -1,0 +1,35 @@
+#pragma once
+// Rule-driven topology adaptation — the Section VI extension:
+//
+//   "instead of forwarding query messages to a neighbor, which will in turn
+//    forward the message on to one of its neighbors, a node could ask its
+//    neighbors to which node they would forward queries from it.  Once the
+//    node has this information, it could attempt to make this third node a
+//    new neighbor, which would result in queries being forwarded in the
+//    future requiring one less hop in the path to its target."
+//
+// adapt_topology() performs one round of exactly that handshake for every
+// node running AssociationRoutingPolicy: for each consequent Y of the node's
+// own-query rules, it asks Y which neighbor Z Y's rules name for queries
+// arriving from X, and adds the shortcut edge X—Z.  The N3 bench measures
+// hop-count and traffic before/after.
+
+#include <cstddef>
+
+#include "overlay/network.hpp"
+
+namespace aar::overlay {
+
+struct AdaptationReport {
+  std::size_t adopters = 0;        ///< nodes running association routing
+  std::size_t asked = 0;           ///< (X, Y) handshakes performed
+  std::size_t edges_added = 0;     ///< new X—Z overlay links
+  std::size_t already_linked = 0;  ///< Z was already a neighbor of X
+};
+
+/// One adaptation round over the whole network.  `max_new_links_per_node`
+/// caps the degree growth of any single node.
+AdaptationReport adapt_topology(Network& network,
+                                std::size_t max_new_links_per_node = 2);
+
+}  // namespace aar::overlay

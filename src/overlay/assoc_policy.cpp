@@ -1,0 +1,61 @@
+#include "overlay/assoc_policy.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace aar::overlay {
+
+bool AssociationRoutingPolicy::route(const Query& query, NodeId self,
+                                     NodeId from,
+                                     std::span<const NodeId> neighbors,
+                                     util::Rng& rng,
+                                     std::vector<NodeId>& out) {
+  (void)query;
+  // Antecedent: the neighbor the query came from; a node's own queries use
+  // its own id (they are "received from self").
+  const core::ForwardDecision decision = forwarder_.decide(rules_, from, rng);
+  if (decision.rule_routed()) {
+    // Consequents were neighbors when learned, but links may have churned;
+    // forward only to current neighbors, never back where it came from.
+    for (trace::HostId target : decision.targets) {
+      const auto node = static_cast<NodeId>(target);
+      if (node == from || node == self) continue;
+      if (std::find(neighbors.begin(), neighbors.end(), node) != neighbors.end()) {
+        out.push_back(node);
+      }
+    }
+    if (!out.empty()) {
+      ++rule_hits_;
+      return true;
+    }
+  }
+  ++floods_;
+  for (NodeId neighbor : neighbors) {
+    if (neighbor != from) out.push_back(neighbor);
+  }
+  return false;
+}
+
+void AssociationRoutingPolicy::on_reply_path(const Query& query, NodeId self,
+                                             NodeId upstream, NodeId downstream) {
+  (void)self;
+  log_.push_back(trace::QueryReplyPair{
+      .time = 0.0,
+      .guid = query.guid,
+      .source_host = upstream,
+      .replying_neighbor = downstream,
+  });
+  while (log_.size() > config_.window) log_.pop_front();
+  ++observations_since_rebuild_;
+  maybe_rebuild();
+}
+
+void AssociationRoutingPolicy::maybe_rebuild() {
+  if (observations_since_rebuild_ < config_.rebuild_every) return;
+  observations_since_rebuild_ = 0;
+  // The deque is the sliding window; materialize it for the miner.
+  std::vector<trace::QueryReplyPair> window(log_.begin(), log_.end());
+  rules_ = core::RuleSet::build(window, config_.min_support);
+}
+
+}  // namespace aar::overlay

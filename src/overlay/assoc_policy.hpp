@@ -1,0 +1,65 @@
+#pragma once
+// Association-rule routing policy — the paper's contribution deployed inside
+// the overlay simulator.
+//
+// Each adopting node observes the (antecedent, consequent) pairs that reply
+// paths reveal (on_reply_path), keeps a sliding log of them, and periodically
+// mines a core::RuleSet.  Incoming queries from a neighbor with a matching
+// antecedent are forwarded only to the top-k consequents; everything else is
+// flooded.  A query the origin rule-routes that finds nothing is retried by
+// flooding (wants_flood_fallback), so result quality does not collapse — the
+// paper's Section III-B deployment story.
+
+#include <cstdint>
+#include <deque>
+
+#include "core/forwarder.hpp"
+#include "core/ruleset.hpp"
+#include "overlay/policy.hpp"
+
+namespace aar::overlay {
+
+struct AssociationPolicyConfig {
+  /// Pairs kept in the sliding observation log (the node's "block").
+  std::size_t window = 384;
+  /// Rebuild the rule set after this many new observations.
+  std::size_t rebuild_every = 32;
+  /// Support-pruning threshold for mined rules (overlay windows are far
+  /// smaller than the trace's 10k blocks, so the threshold scales down too).
+  std::uint32_t min_support = 2;
+  /// Fan-out and selection for rule-directed forwarding.
+  core::ForwarderConfig forwarder{};
+};
+
+class AssociationRoutingPolicy final : public RoutingPolicy {
+ public:
+  explicit AssociationRoutingPolicy(AssociationPolicyConfig config = {})
+      : config_(config), forwarder_(config.forwarder) {}
+
+  [[nodiscard]] std::string name() const override { return "association"; }
+  [[nodiscard]] bool wants_flood_fallback() const override { return true; }
+
+  bool route(const Query& query, NodeId self, NodeId from,
+             std::span<const NodeId> neighbors, util::Rng& rng,
+             std::vector<NodeId>& out) override;
+
+  void on_reply_path(const Query& query, NodeId self, NodeId upstream,
+                     NodeId downstream) override;
+
+  [[nodiscard]] const core::RuleSet& rules() const noexcept { return rules_; }
+  [[nodiscard]] std::uint64_t rule_hits() const noexcept { return rule_hits_; }
+  [[nodiscard]] std::uint64_t floods() const noexcept { return floods_; }
+
+ private:
+  void maybe_rebuild();
+
+  AssociationPolicyConfig config_;
+  core::Forwarder forwarder_;
+  core::RuleSet rules_;
+  std::deque<trace::QueryReplyPair> log_;
+  std::size_t observations_since_rebuild_ = 0;
+  std::uint64_t rule_hits_ = 0;
+  std::uint64_t floods_ = 0;
+};
+
+}  // namespace aar::overlay

@@ -1,0 +1,82 @@
+#include "overlay/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace aar::overlay {
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  assert(a < adjacency_.size() && b < adjacency_.size());
+  if (a == b || has_edge(a, b)) return false;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId a, NodeId b) {
+  assert(a < adjacency_.size() && b < adjacency_.size());
+  auto erase_from = [this](NodeId from, NodeId to) {
+    auto& list = adjacency_[from];
+    const auto it = std::find(list.begin(), list.end(), to);
+    if (it == list.end()) return false;
+    list.erase(it);
+    return true;
+  };
+  if (!erase_from(a, b)) return false;
+  erase_from(b, a);
+  --edge_count_;
+  return true;
+}
+
+std::size_t Graph::detach(NodeId node) {
+  assert(node < adjacency_.size());
+  const std::vector<NodeId> neighbors = adjacency_[node];  // copy: mutation
+  for (NodeId neighbor : neighbors) remove_edge(node, neighbor);
+  return neighbors.size();
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  assert(a < adjacency_.size() && b < adjacency_.size());
+  // Scan the smaller list; overlay degrees are tens, not thousands.
+  const auto& list =
+      adjacency_[a].size() <= adjacency_[b].size() ? adjacency_[a] : adjacency_[b];
+  const NodeId needle = adjacency_[a].size() <= adjacency_[b].size() ? b : a;
+  return std::find(list.begin(), list.end(), needle) != list.end();
+}
+
+bool Graph::is_connected() const {
+  if (adjacency_.empty()) return true;
+  const auto distances = bfs_distances(0);
+  return std::none_of(distances.begin(), distances.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(NodeId origin) const {
+  assert(origin < adjacency_.size());
+  std::vector<std::uint32_t> distance(adjacency_.size(), kUnreachable);
+  std::deque<NodeId> frontier{origin};
+  distance[origin] = 0;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    for (NodeId next : adjacency_[node]) {
+      if (distance[next] == kUnreachable) {
+        distance[next] = distance[node] + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return distance;
+}
+
+std::uint32_t Graph::eccentricity(NodeId origin) const {
+  std::uint32_t max_distance = 0;
+  for (std::uint32_t d : bfs_distances(origin)) {
+    if (d != kUnreachable) max_distance = std::max(max_distance, d);
+  }
+  return max_distance;
+}
+
+}  // namespace aar::overlay

@@ -1,0 +1,63 @@
+#pragma once
+// Undirected overlay graph with adjacency lists.
+//
+// Used by the message-level simulator: nodes are peers, edges are overlay
+// links.  The generators in topology.hpp produce the unstructured-network
+// shapes Gnutella-era measurement studies report.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aar::overlay {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kNoNode = 0xffffffffu;
+
+class Graph {
+ public:
+  explicit Graph(std::size_t nodes) : adjacency_(nodes) {}
+
+  /// Add an undirected edge.  Self-loops and duplicate edges are ignored
+  /// (returns false in both cases).
+  bool add_edge(NodeId a, NodeId b);
+
+  /// Remove an edge; returns false when it did not exist.
+  bool remove_edge(NodeId a, NodeId b);
+
+  /// Remove every edge incident to `node` (peer departure).  Returns the
+  /// number of edges removed.
+  std::size_t detach(NodeId node);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId node) const {
+    return adjacency_[node];
+  }
+  [[nodiscard]] std::size_t degree(NodeId node) const {
+    return adjacency_[node].size();
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edge_count_; }
+
+  /// True when every node is reachable from node 0 (or the graph is empty).
+  [[nodiscard]] bool is_connected() const;
+
+  /// Hop distances from `origin` to every node (kUnreachable where cut off).
+  static constexpr std::uint32_t kUnreachable = 0xffffffffu;
+  [[nodiscard]] std::vector<std::uint32_t> bfs_distances(NodeId origin) const;
+
+  /// Eccentricity of `origin`: the largest finite BFS distance from it.
+  [[nodiscard]] std::uint32_t eccentricity(NodeId origin) const;
+
+  [[nodiscard]] double average_degree() const noexcept {
+    return adjacency_.empty() ? 0.0
+                              : 2.0 * static_cast<double>(edge_count_) /
+                                    static_cast<double>(adjacency_.size());
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace aar::overlay

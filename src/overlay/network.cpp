@@ -1,0 +1,255 @@
+#include "overlay/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace aar::overlay {
+
+Network::Network(const NetworkConfig& config, Graph graph,
+                 const PolicyFactory& factory)
+    : config_(config),
+      factory_(factory),
+      graph_(std::move(graph)),
+      rng_(config.seed),
+      catalogue_(config.content, rng_) {
+  const std::size_t n = graph_.num_nodes();
+  peers_.resize(n);
+  policies_.reserve(n);
+  for (NodeId node = 0; node < n; ++node) {
+    peers_[node].profile = workload::InterestProfile::sample(
+        rng_, config_.content.categories, config_.interest_breadth);
+    peers_[node].store.populate(catalogue_, peers_[node].profile,
+                                config_.files_per_node, rng_);
+    policies_.push_back(factory(node));
+    assert(policies_.back() != nullptr);
+  }
+  seen_stamp_.assign(n, 0);
+  hit_stamp_.assign(n, 0);
+  parent_.assign(n, kNoNode);
+}
+
+void Network::set_policy(NodeId node, std::unique_ptr<RoutingPolicy> policy) {
+  assert(policy != nullptr);
+  policies_[node] = std::move(policy);
+}
+
+void Network::replace_peer(NodeId node, std::size_t attach) {
+  assert(node < peers_.size());
+  const std::vector<NodeId> orphaned(graph_.neighbors(node).begin(),
+                                     graph_.neighbors(node).end());
+  graph_.detach(node);
+  std::size_t linked = 0;
+  std::size_t attempts = 0;
+  while (linked < attach && attempts++ < 16 * attach) {
+    const auto target = static_cast<NodeId>(rng_.below(peers_.size()));
+    if (graph_.add_edge(node, target)) ++linked;
+  }
+  // Overlay maintenance: peers that lost the link re-open a connection so
+  // the network does not thin out under sustained churn.
+  for (NodeId neighbor : orphaned) {
+    if (graph_.degree(neighbor) >= attach) continue;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const auto target = static_cast<NodeId>(rng_.below(peers_.size()));
+      if (graph_.add_edge(neighbor, target)) break;
+    }
+  }
+  peers_[node].profile = workload::InterestProfile::sample(
+      rng_, config_.content.categories, config_.interest_breadth);
+  peers_[node].store.populate(catalogue_, peers_[node].profile,
+                              config_.files_per_node, rng_);
+  policies_[node] = factory_(node);
+}
+
+void Network::churn(std::size_t count, std::size_t attach) {
+  for (std::size_t i = 0; i < count; ++i) {
+    replace_peer(static_cast<NodeId>(rng_.below(peers_.size())), attach);
+  }
+}
+
+workload::FileId Network::sample_target(NodeId origin) {
+  const workload::Category category =
+      peers_[origin].profile.sample_category(rng_);
+  return catalogue_.sample_in(category, rng_);
+}
+
+std::size_t Network::replica_count(workload::FileId file) const {
+  std::size_t count = 0;
+  for (const Peer& peer : peers_) {
+    if (peer.store.has(file)) ++count;
+  }
+  return count;
+}
+
+void Network::next_stamp() {
+  if (++stamp_ == 0) {  // wrapped: reset versioned scratch state
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0u);
+    std::fill(hit_stamp_.begin(), hit_stamp_.end(), 0u);
+    stamp_ = 1;
+  }
+}
+
+std::uint64_t Network::deliver_reply(const Query& query, NodeId server) {
+  // Gnutella routes QueryHits back along the reverse query path using the
+  // per-node GUID routing tables; parent_ is exactly that table for the
+  // current query.  Every node on the path observes the (antecedent,
+  // consequent) pair and lets its policy learn from it.
+  std::uint64_t messages = 0;
+  NodeId downstream = server;
+  NodeId node = parent_[server];
+  while (downstream != query.origin) {
+    assert(node != kNoNode);
+    ++messages;  // downstream -> node
+    const NodeId upstream = node == query.origin ? node : parent_[node];
+    policies_[node]->on_reply_path(query, node, upstream, downstream);
+    downstream = node;
+    node = upstream;
+  }
+  return messages;
+}
+
+Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
+                                        std::uint32_t ttl, bool force_flood) {
+  next_stamp();
+  PassOutcome pass;
+
+  struct InFlight {
+    NodeId node;
+    NodeId from;
+    std::uint32_t depth;
+    std::uint32_t ttl;
+  };
+  std::deque<InFlight> frontier;
+  frontier.push_back({origin, origin, 0, ttl});
+
+  FloodingPolicy flood;
+  std::vector<NodeId> targets;
+  bool origin_decision = true;
+  bool any_directed = false;
+
+  while (!frontier.empty()) {
+    const InFlight msg = frontier.front();
+    frontier.pop_front();
+
+    RoutingPolicy& policy = force_flood ? static_cast<RoutingPolicy&>(flood)
+                                        : *policies_[msg.node];
+    const bool first_visit = seen_stamp_[msg.node] != stamp_;
+    if (first_visit) {
+      seen_stamp_[msg.node] = stamp_;
+      parent_[msg.node] = msg.from;
+      ++pass.nodes_reached;
+      if (peers_[msg.node].store.has(query.target) &&
+          hit_stamp_[msg.node] != stamp_) {
+        hit_stamp_[msg.node] = stamp_;
+        ++pass.replicas_found;
+        if (!pass.hit) {
+          pass.hit = true;
+          pass.hops_to_first_hit = msg.depth;
+          pass.first_server = msg.node;
+        }
+        if (msg.node != origin) {
+          pass.reply_messages += deliver_reply(query, msg.node);
+        }
+      }
+    } else if (!policy.allows_revisit()) {
+      continue;  // duplicate suppressed
+    }
+
+    if (msg.ttl == 0) continue;
+    // Walk-style policies (allows_revisit) emulate the "walkers check back
+    // with the originator" termination of k-random walks: once the query is
+    // answered, outstanding walkers stop forwarding.
+    if (pass.hit && policy.allows_revisit()) continue;
+    targets.clear();
+    const bool directed =
+        policy.route(query, msg.node, msg.from, graph_.neighbors(msg.node),
+                     rng_, targets);
+    if (msg.node == origin && msg.depth == 0) origin_decision = directed;
+    any_directed = any_directed || directed;
+    for (NodeId target : targets) {
+      if (target == msg.node) continue;
+      ++pass.query_messages;
+      frontier.push_back({target, msg.node, msg.depth + 1, msg.ttl - 1});
+    }
+  }
+  pass.origin_rule_routed = origin_decision && !force_flood;
+  pass.any_rule_routed = any_directed && !force_flood;
+  return pass;
+}
+
+SearchOutcome Network::search(NodeId origin, workload::FileId target,
+                              const SearchOptions& options) {
+  assert(origin < peers_.size());
+  const std::uint32_t ttl = options.ttl != 0 ? options.ttl : config_.default_ttl;
+
+  Query query;
+  query.guid = next_guid_++;
+  query.target = target;
+  query.category = catalogue_.category_of(target);
+  query.origin = origin;
+
+  SearchOutcome outcome;
+
+  // Phase A: direct shortcut probes, if the origin's policy keeps any.
+  std::vector<NodeId> probes;
+  policies_[origin]->probe_candidates(query, origin, probes);
+  for (NodeId candidate : probes) {
+    outcome.probe_messages += 2;  // request + response
+    if (candidate < peers_.size() && peers_[candidate].store.has(target)) {
+      outcome.hit = true;
+      outcome.hops_to_first_hit = 1;
+      outcome.replicas_found = 1;
+      outcome.rule_routed = true;
+      policies_[origin]->on_search_result(query, origin, true, candidate);
+      return outcome;
+    }
+  }
+
+  auto merge = [&outcome](const PassOutcome& pass) {
+    outcome.query_messages += pass.query_messages;
+    outcome.reply_messages += pass.reply_messages;
+    outcome.nodes_reached = std::max(outcome.nodes_reached, pass.nodes_reached);
+    if (pass.hit && !outcome.hit) {
+      outcome.hit = true;
+      outcome.hops_to_first_hit = pass.hops_to_first_hit;
+    }
+    outcome.replicas_found = std::max(outcome.replicas_found, pass.replicas_found);
+  };
+
+  NodeId server = kNoNode;
+  if (options.mode == SearchMode::kExpandingRing) {
+    // Lv et al.: successively larger flooding rings until something answers.
+    std::uint32_t ring = 1;
+    for (;;) {
+      const PassOutcome pass = propagate(query, origin, ring, /*force_flood=*/true);
+      merge(pass);
+      if (pass.hit) {
+        server = pass.first_server;
+        break;
+      }
+      if (ring >= ttl) break;
+      ring = std::min(ttl, ring * 2);
+    }
+  } else {
+    const PassOutcome pass = propagate(query, origin, ttl, /*force_flood=*/false);
+    merge(pass);
+    outcome.rule_routed = pass.origin_rule_routed && pass.query_messages > 0;
+    server = pass.first_server;
+    // Retry by flooding when the query missed and *any* node narrowed its
+    // propagation (a pure flood that missed has already seen everything —
+    // retrying it cannot help).
+    const bool fallback_wanted =
+        options.flood_fallback || policies_[origin]->wants_flood_fallback();
+    if (!pass.hit && fallback_wanted && pass.any_rule_routed) {
+      const PassOutcome retry = propagate(query, origin, ttl, /*force_flood=*/true);
+      merge(retry);
+      outcome.used_fallback = true;
+      server = retry.first_server;
+    }
+  }
+
+  policies_[origin]->on_search_result(query, origin, outcome.hit, server);
+  return outcome;
+}
+
+}  // namespace aar::overlay

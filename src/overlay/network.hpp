@@ -1,0 +1,148 @@
+#pragma once
+// Message-level unstructured-overlay simulator.
+//
+// Simulates Gnutella-style search: a query propagates hop by hop under each
+// node's routing policy with TTL and duplicate suppression; QueryHits route
+// back along the reverse query path (GUID routing tables), and every node the
+// reply passes notifies its policy — the feedback loop the paper's rules are
+// mined from.  The simulator counts every message so the traffic benches
+// (N1/N2) can compare policies end to end.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "overlay/graph.hpp"
+#include "overlay/policy.hpp"
+#include "util/rng.hpp"
+#include "workload/content.hpp"
+#include "workload/interests.hpp"
+
+namespace aar::overlay {
+
+struct NetworkConfig {
+  std::uint64_t seed = 1;
+  std::size_t files_per_node = 24;     ///< local store size
+  std::size_t interest_breadth = 3;    ///< categories per peer profile
+  std::uint32_t default_ttl = 7;       ///< Gnutella's classic TTL
+  workload::ContentConfig content{};
+};
+
+/// One peer: interests and shared content (links live in the Graph,
+/// behaviour in the policy table).
+struct Peer {
+  workload::InterestProfile profile;
+  workload::LocalStore store;
+};
+
+enum class SearchMode {
+  kSingle,         ///< one propagation pass at the given TTL
+  kExpandingRing,  ///< flooding passes at TTL 1, 2, 4, ... up to the given TTL
+};
+
+struct SearchOptions {
+  std::uint32_t ttl = 0;  ///< 0 = network default
+  SearchMode mode = SearchMode::kSingle;
+  /// Force flood-on-miss regardless of the policy's preference.
+  bool flood_fallback = false;
+};
+
+struct SearchOutcome {
+  bool hit = false;
+  std::uint32_t hops_to_first_hit = 0;   ///< 0 when the origin had the file
+  std::uint32_t replicas_found = 0;      ///< distinct nodes that answered
+  std::uint32_t nodes_reached = 0;       ///< distinct nodes that saw the query
+  std::uint64_t query_messages = 0;
+  std::uint64_t reply_messages = 0;
+  std::uint64_t probe_messages = 0;      ///< shortcut request/response pairs
+  bool used_fallback = false;            ///< a flooding retry ran
+  bool rule_routed = false;              ///< primary pass was policy-directed
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return query_messages + reply_messages + probe_messages;
+  }
+};
+
+class Network {
+ public:
+  /// Build a network over `graph`.  Peers get interest profiles and stores
+  /// from the catalogue; `factory` supplies each node's routing policy.
+  Network(const NetworkConfig& config, Graph graph, const PolicyFactory& factory);
+
+  /// Issue one query and simulate it to completion.
+  SearchOutcome search(NodeId origin, workload::FileId target,
+                       const SearchOptions& options = {});
+
+  /// Sample a query target matching `origin`'s interests (interest-based
+  /// locality: peers ask for content in their own categories).
+  [[nodiscard]] workload::FileId sample_target(NodeId origin);
+
+  /// Replace a node's policy (adoption sweeps, A/B tests).
+  void set_policy(NodeId node, std::unique_ptr<RoutingPolicy> policy);
+
+  /// Add an overlay link (rule-driven topology adaptation, §VI).  Returns
+  /// false for self-loops and existing links.
+  bool add_link(NodeId a, NodeId b) { return graph_.add_edge(a, b); }
+
+  /// Peer churn: the peer at `node` departs and a fresh peer joins in its
+  /// place — links dropped, `attach` new random links made, new interests,
+  /// new store, and a fresh policy from the construction factory (every
+  /// other node's learned state about the old peer is now stale, which is
+  /// exactly what the adaptive strategies must absorb).
+  void replace_peer(NodeId node, std::size_t attach);
+
+  /// Replace `count` uniformly random peers (one churn epoch).
+  void churn(std::size_t count, std::size_t attach);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Peer& peer(NodeId node) const { return peers_[node]; }
+  [[nodiscard]] RoutingPolicy& policy(NodeId node) { return *policies_[node]; }
+  [[nodiscard]] const workload::ContentCatalogue& catalogue() const noexcept {
+    return catalogue_;
+  }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return peers_.size(); }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+  /// Total replicas of `file` across all stores (workload sanity checks).
+  [[nodiscard]] std::size_t replica_count(workload::FileId file) const;
+
+ private:
+  struct PassOutcome {
+    bool hit = false;
+    std::uint32_t hops_to_first_hit = 0;
+    std::uint32_t replicas_found = 0;
+    std::uint32_t nodes_reached = 0;
+    std::uint64_t query_messages = 0;
+    std::uint64_t reply_messages = 0;
+    bool origin_rule_routed = false;  ///< the origin's own decision was directed
+    bool any_rule_routed = false;     ///< some node narrowed the propagation
+    NodeId first_server = kNoNode;
+  };
+
+  /// One propagation pass.  `force_flood` ignores policies and floods.
+  PassOutcome propagate(const Query& query, NodeId origin, std::uint32_t ttl,
+                        bool force_flood);
+
+  /// Route a reply from `server` back to the origin along the parent chain,
+  /// invoking on_reply_path at every node on the way.
+  std::uint64_t deliver_reply(const Query& query, NodeId server);
+
+  void next_stamp();
+
+  NetworkConfig config_;
+  PolicyFactory factory_;
+  Graph graph_;
+  util::Rng rng_;
+  workload::ContentCatalogue catalogue_;
+  std::vector<Peer> peers_;
+  std::vector<std::unique_ptr<RoutingPolicy>> policies_;
+
+  // Per-query scratch state, stamp-versioned so it never needs clearing.
+  std::vector<std::uint32_t> seen_stamp_;
+  std::vector<std::uint32_t> hit_stamp_;
+  std::vector<NodeId> parent_;
+  std::uint32_t stamp_ = 0;
+  trace::Guid next_guid_ = 1;
+};
+
+}  // namespace aar::overlay

@@ -1,0 +1,29 @@
+#include "overlay/shortcuts.hpp"
+
+#include <algorithm>
+
+namespace aar::overlay {
+
+void InterestShortcutsPolicy::probe_candidates(const Query& query, NodeId self,
+                                               std::vector<NodeId>& out) {
+  (void)query;
+  const std::size_t take = std::min(config_.probes, shortcuts_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    if (shortcuts_[i] != self) out.push_back(shortcuts_[i]);
+  }
+}
+
+void InterestShortcutsPolicy::on_search_result(const Query& query, NodeId self,
+                                               bool hit, NodeId server) {
+  (void)query;
+  if (!hit || server == kNoNode || server == self) return;
+  // Move-to-front ranking (the paper [7] ranks shortcuts and retires the
+  // bottom): a repeated success is promoted, a new provider is inserted at
+  // the head and the list is trimmed.
+  const auto it = std::find(shortcuts_.begin(), shortcuts_.end(), server);
+  if (it != shortcuts_.end()) shortcuts_.erase(it);
+  shortcuts_.insert(shortcuts_.begin(), server);
+  if (shortcuts_.size() > config_.list_size) shortcuts_.resize(config_.list_size);
+}
+
+}  // namespace aar::overlay

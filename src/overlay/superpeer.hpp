@@ -1,0 +1,93 @@
+#pragma once
+// Super-peer network substrate (Yang & Garcia-Molina — reference [14] of the
+// paper).
+//
+// Paper Section II: "nodes connect to a superpeer that maintains an index of
+// the contents of each node connected to it ... If none of the nodes
+// connected to that superpeer hosts content matching the query, the
+// superpeer then floods the query to the other superpeers ... Although this
+// approach has the benefit of reducing the number of hops required for
+// queries, it can still suffer from the effects of flooding on larger
+// systems."  The N4 bench quantifies both halves of that sentence.
+//
+// Model: leaves attach to one super-peer each; super-peers form their own
+// random overlay and flood among themselves with a TTL when the local index
+// misses.  Indices are exact (super-peers know their leaves' stores).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "overlay/graph.hpp"
+#include "util/rng.hpp"
+#include "workload/content.hpp"
+#include "workload/interests.hpp"
+
+namespace aar::overlay {
+
+struct SuperPeerConfig {
+  std::uint64_t seed = 1;
+  std::size_t leaves = 2'000;
+  std::size_t super_peers = 64;
+  std::size_t super_peer_degree = 6;  ///< links per super-peer (approx.)
+  std::uint32_t flood_ttl = 7;        ///< TTL of the super-peer flood
+  std::size_t files_per_leaf = 24;
+  std::size_t interest_breadth = 3;
+  workload::ContentConfig content{};
+};
+
+struct SuperPeerOutcome {
+  bool hit = false;
+  std::uint32_t hops = 0;           ///< leaf->SP (+ SP hops + SP->leaf)
+  std::uint64_t query_messages = 0; ///< leaf->SP message + SP-flood messages
+  std::uint64_t reply_messages = 0;
+  bool local_hit = false;           ///< answered from the leaf's own SP index
+};
+
+class SuperPeerNetwork {
+ public:
+  explicit SuperPeerNetwork(const SuperPeerConfig& config);
+
+  /// Issue a query from `leaf` for `file`.
+  SuperPeerOutcome search(std::size_t leaf, workload::FileId file);
+
+  /// Sample an interest-matching target for a leaf.
+  [[nodiscard]] workload::FileId sample_target(std::size_t leaf);
+
+  [[nodiscard]] std::size_t num_leaves() const noexcept {
+    return leaf_profiles_.size();
+  }
+  [[nodiscard]] std::size_t num_super_peers() const noexcept {
+    return super_graph_.num_nodes();
+  }
+  [[nodiscard]] const Graph& super_graph() const noexcept { return super_graph_; }
+  [[nodiscard]] std::size_t super_peer_of(std::size_t leaf) const {
+    return leaf_super_[leaf];
+  }
+  [[nodiscard]] const workload::ContentCatalogue& catalogue() const noexcept {
+    return catalogue_;
+  }
+  /// Replicas of a file across all leaf stores.
+  [[nodiscard]] std::size_t replica_count(workload::FileId file) const;
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  util::Rng rng_;
+  workload::ContentCatalogue catalogue_;
+  Graph super_graph_;
+  std::uint32_t flood_ttl_;
+
+  std::vector<workload::InterestProfile> leaf_profiles_;
+  std::vector<workload::LocalStore> leaf_stores_;
+  std::vector<std::size_t> leaf_super_;  ///< leaf -> super-peer
+
+  /// Super-peer index: file -> leaves that share it, per super-peer.
+  std::vector<std::unordered_map<workload::FileId, std::vector<std::size_t>>>
+      index_;
+
+  // Flood scratch (stamp-versioned).
+  std::vector<std::uint32_t> seen_stamp_;
+  std::uint32_t stamp_ = 0;
+};
+
+}  // namespace aar::overlay

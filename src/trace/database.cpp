@@ -1,0 +1,138 @@
+#include "trace/database.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+namespace aar::trace {
+
+std::string TraceSummary::to_string() const {
+  std::ostringstream os;
+  os << "queries(raw)=" << raw_queries << " duplicates=" << duplicate_guids
+     << " queries=" << queries << " replies=" << replies
+     << " orphan_replies=" << orphan_replies << " pairs=" << pairs
+     << " source_hosts=" << unique_source_hosts
+     << " reply_neighbors=" << unique_reply_neighbors;
+  return os.str();
+}
+
+void Database::add_query(const QueryRecord& query) {
+  queries_.push_back(query);
+  ++raw_query_count_;
+  deduplicated_ = false;
+  joined_ = false;
+}
+
+void Database::add_reply(const ReplyRecord& reply) {
+  replies_.push_back(reply);
+  joined_ = false;
+}
+
+void Database::add_event(const TraceEvent& event) {
+  add_query(event.query);
+  for (std::uint32_t i = 0; i < event.reply_count; ++i) {
+    add_reply(event.replies[i]);
+  }
+}
+
+void Database::import(TraceGenerator& generator, std::size_t pair_target) {
+  std::size_t pairs_imported = 0;
+  while (pairs_imported < pair_target) {
+    const TraceEvent event = generator.next();
+    add_event(event);
+    pairs_imported += event.reply_count;
+  }
+}
+
+std::uint64_t Database::deduplicate_queries() {
+  if (deduplicated_) return 0;
+  std::unordered_set<Guid> seen;
+  seen.reserve(queries_.size());
+  std::uint64_t removed = 0;
+  auto keep = queries_.begin();
+  for (const QueryRecord& query : queries_) {
+    if (seen.insert(query.guid).second) {
+      *keep++ = query;
+    } else {
+      ++removed;
+    }
+  }
+  queries_.erase(keep, queries_.end());
+  duplicate_guid_count_ += removed;
+  deduplicated_ = true;
+  return removed;
+}
+
+std::uint64_t Database::join() {
+  deduplicate_queries();
+  if (joined_) return pairs_.size();
+
+  struct QueryInfo {
+    HostId source;
+    QueryKey query;
+  };
+  std::unordered_map<Guid, QueryInfo> source_of;
+  source_of.reserve(queries_.size());
+  for (const QueryRecord& query : queries_) {
+    source_of.emplace(query.guid, QueryInfo{query.source_host, query.query});
+  }
+
+  pairs_.clear();
+  pairs_.reserve(replies_.size());
+  orphan_reply_count_ = 0;
+  for (const ReplyRecord& reply : replies_) {
+    const auto it = source_of.find(reply.guid);
+    if (it == source_of.end()) {
+      // A reply to a query we never recorded (in the real capture: replies
+      // routed through us for queries that predate the capture, or whose
+      // query row fell to dedup).  Dropped, but accounted for.
+      ++orphan_reply_count_;
+      continue;
+    }
+    pairs_.push_back(QueryReplyPair{
+        .time = reply.time,
+        .guid = reply.guid,
+        .source_host = it->second.source,
+        .replying_neighbor = reply.replying_neighbor,
+        .query = it->second.query,
+    });
+  }
+  std::sort(pairs_.begin(), pairs_.end(),
+            [](const QueryReplyPair& a, const QueryReplyPair& b) {
+              return a.time < b.time;
+            });
+  joined_ = true;
+  return pairs_.size();
+}
+
+std::size_t Database::num_blocks(std::size_t block_size) const noexcept {
+  assert(block_size > 0);
+  return pairs_.size() / block_size;
+}
+
+std::span<const QueryReplyPair> Database::block(std::size_t index,
+                                                std::size_t block_size) const {
+  assert(index < num_blocks(block_size));
+  return std::span<const QueryReplyPair>(pairs_).subspan(index * block_size,
+                                                         block_size);
+}
+
+TraceSummary Database::summary() const {
+  TraceSummary s;
+  s.raw_queries = raw_query_count_;
+  s.duplicate_guids = duplicate_guid_count_;
+  s.queries = queries_.size();
+  s.replies = replies_.size();
+  s.orphan_replies = orphan_reply_count_;
+  s.pairs = pairs_.size();
+  std::unordered_set<HostId> sources;
+  std::unordered_set<HostId> neighbors;
+  for (const QueryRecord& query : queries_) sources.insert(query.source_host);
+  for (const ReplyRecord& reply : replies_) neighbors.insert(reply.replying_neighbor);
+  s.unique_source_hosts = sources.size();
+  s.unique_reply_neighbors = neighbors.size();
+  return s;
+}
+
+}  // namespace aar::trace

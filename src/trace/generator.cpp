@@ -1,0 +1,216 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aar::trace {
+
+TraceGenerator::TraceGenerator(const TraceConfig& config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.block_size > 0);
+  assert(config_.active_hosts > 0);
+  assert(config_.reply_neighbors > 0);
+  assert(config_.categories > 0);
+  assert(config_.reply_rate > 0.0 && config_.reply_rate <= 1.0);
+
+  // One block of time elapses per block_size *answered* queries, so each
+  // query advances the clock by reply_rate / block_size blocks in expectation.
+  dt_per_query_ = config_.reply_rate / static_cast<double>(config_.block_size);
+
+  hosts_.resize(config_.active_hosts);
+  for (std::size_t slot = 0; slot < hosts_.size(); ++slot) {
+    spawn_host(slot, /*initial=*/true);
+  }
+
+  neighbor_id_.resize(config_.reply_neighbors);
+  neighbor_death_.resize(config_.reply_neighbors);
+  for (std::size_t slot = 0; slot < neighbor_id_.size(); ++slot) {
+    spawn_neighbor(slot);
+  }
+  category_slot_.resize(config_.categories);
+  category_drift_time_.resize(config_.categories);
+  for (std::size_t cat = 0; cat < config_.categories; ++cat) {
+    redraw_category(cat);
+    // Stationary start: the first drift clock is a *residual* interval of the
+    // uniform renewal process, not a full one.
+    const double full =
+        rng_.uniform(config_.drift_min_blocks, config_.drift_max_blocks);
+    category_drift_time_[cat] = rng_.uniform() * full;
+  }
+}
+
+void TraceGenerator::spawn_neighbor(std::size_t slot) {
+  neighbor_id_[slot] = kReplyNeighborBase + next_neighbor_serial_++;
+  neighbor_death_[slot] = now_ + rng_.exponential(config_.neighbor_mean_blocks);
+}
+
+void TraceGenerator::redraw_category(std::size_t category) {
+  category_slot_[category] = rng_.index(neighbor_id_.size());
+  category_drift_time_[category] =
+      now_ + rng_.uniform(config_.drift_min_blocks, config_.drift_max_blocks);
+}
+
+void TraceGenerator::spawn_host(std::size_t slot, bool initial) {
+  Host& host = hosts_[slot];
+  host.id = next_host_id_++;
+  if (initial) {
+    // The initial population is sampled at its stationary composition:
+    // core_fraction of *active* hosts are core, and (exponential sessions
+    // being memoryless) the residual lifetime has the full distribution.
+    host.core = rng_.chance(config_.core_fraction);
+  } else {
+    // Replacement spawns must be core much more rarely, or long core
+    // sessions would accumulate and the active mix would drift away from
+    // core_fraction.  Stationarity requires the spawn probability q with
+    //   q·core_mean / (q·core_mean + (1-q)·transient_mean) = core_fraction.
+    const double f = config_.core_fraction;
+    const double c = config_.core_mean_blocks;
+    const double t = config_.transient_mean_blocks;
+    const double q = f * t / (c * (1.0 - f) + f * t);
+    host.core = rng_.chance(q);
+  }
+  const double mean =
+      host.core ? config_.core_mean_blocks : config_.transient_mean_blocks;
+  host.death_time = now_ + rng_.exponential(mean);
+  host.weight = std::exp(rng_.normal(0.0, config_.volume_sigma));
+  if (host.core) host.weight *= config_.core_volume_boost;
+  host.next_interest_drift = now_ + rng_.exponential(config_.host_drift_blocks);
+  host.profile = workload::InterestProfile::sample(rng_, config_.categories,
+                                                   config_.interest_breadth);
+  sampler_dirty_ = true;
+}
+
+void TraceGenerator::process_world_events() {
+  for (std::size_t slot = 0; slot < hosts_.size(); ++slot) {
+    Host& host = hosts_[slot];
+    if (host.death_time <= now_) {
+      spawn_host(slot, /*initial=*/false);  // departure + fresh arrival
+    } else if (host.next_interest_drift <= now_) {
+      host.profile.drift(rng_, config_.categories);
+      host.next_interest_drift = now_ + rng_.exponential(config_.host_drift_blocks);
+    }
+  }
+  for (std::size_t slot = 0; slot < neighbor_id_.size(); ++slot) {
+    if (neighbor_death_[slot] <= now_) {
+      spawn_neighbor(slot);
+      // The overlay link is gone: every category routed through it finds a
+      // new path immediately.
+      for (std::size_t cat = 0; cat < category_slot_.size(); ++cat) {
+        if (category_slot_[cat] == slot) redraw_category(cat);
+      }
+    }
+  }
+  for (std::size_t cat = 0; cat < category_slot_.size(); ++cat) {
+    if (category_drift_time_[cat] <= now_) redraw_category(cat);
+  }
+}
+
+void TraceGenerator::rebuild_sampler() {
+  cumulative_weight_.resize(hosts_.size());
+  double accum = 0.0;
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    accum += hosts_[i].weight;
+    cumulative_weight_[i] = accum;
+  }
+  sampler_dirty_ = false;
+}
+
+std::size_t TraceGenerator::sample_host() {
+  if (sampler_dirty_) rebuild_sampler();
+  const double target = rng_.uniform() * cumulative_weight_.back();
+  const auto it = std::upper_bound(cumulative_weight_.begin(),
+                                   cumulative_weight_.end(), target);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(cumulative_weight_.begin(), it));
+  return std::min(idx, hosts_.size() - 1);
+}
+
+HostId TraceGenerator::reply_neighbor_for(workload::Category category) {
+  if (rng_.chance(config_.reply_noise)) {
+    return neighbor_id_[rng_.index(neighbor_id_.size())];
+  }
+  return neighbor_id_[category_slot_[category]];
+}
+
+Guid TraceGenerator::next_guid() {
+  if (!recent_guids_.empty() && rng_.chance(config_.duplicate_guid_rate)) {
+    ++duplicate_guid_count_;
+    return recent_guids_[rng_.index(recent_guids_.size())];
+  }
+  // splitmix64 of a counter: unique, well-spread bits like real GUIDs.
+  std::uint64_t counter = ++guid_counter_;
+  const Guid guid = util::splitmix64(counter);
+  if (recent_guids_.size() < 4096) {
+    recent_guids_.push_back(guid);
+  } else {
+    recent_guids_[static_cast<std::size_t>(guid_counter_) & 4095u] = guid;
+  }
+  return guid;
+}
+
+TraceEvent TraceGenerator::next() {
+  now_ += dt_per_query_;
+  // Scanning all hosts / categories per query would dominate the ~10M-query
+  // runs; the shortest world timescale is several blocks, so polling every
+  // kWorldCheckStride queries (≈ 0.003 blocks) loses nothing.
+  constexpr std::uint32_t kWorldCheckStride = 100;
+  if (queries_until_world_check_ == 0) {
+    process_world_events();
+    queries_until_world_check_ = kWorldCheckStride;
+  }
+  --queries_until_world_check_;
+
+  TraceEvent event;
+  const Host& host = hosts_[sample_host()];
+  const workload::Category category = host.profile.sample_category(rng_);
+
+  event.query.time = now_;
+  event.query.guid = next_guid();
+  event.query.source_host = host.id;
+  // The query key encodes the category; file-level identity is irrelevant to
+  // the routing rules but kept plausible (category * 1000 + popular rank).
+  event.query.query =
+      static_cast<QueryKey>(category * 1000u + static_cast<QueryKey>(rng_.below(1000)));
+  ++query_count_;
+
+  if (rng_.chance(config_.reply_rate)) {
+    ReplyRecord reply;
+    reply.time = now_ + dt_per_query_ * rng_.uniform();  // small response delay
+    reply.guid = event.query.guid;
+    reply.replying_neighbor = reply_neighbor_for(category);
+    reply.serving_host = 0x80000000u + static_cast<HostId>(rng_.below(100'000));
+    reply.file = event.query.query;
+    event.replies[event.reply_count++] = reply;
+    ++reply_count_;
+    if (config_.multi_reply_rate > 0.0 && rng_.chance(config_.multi_reply_rate)) {
+      ReplyRecord second = reply;
+      second.time += dt_per_query_ * rng_.uniform();
+      second.replying_neighbor = reply_neighbor_for(category);
+      second.serving_host = 0x80000000u + static_cast<HostId>(rng_.below(100'000));
+      event.replies[event.reply_count++] = second;
+      ++reply_count_;
+    }
+  }
+  return event;
+}
+
+std::vector<QueryReplyPair> TraceGenerator::generate_pairs(std::size_t n) {
+  std::vector<QueryReplyPair> pairs;
+  pairs.reserve(n);
+  while (pairs.size() < n) {
+    const TraceEvent event = next();
+    for (std::uint32_t i = 0; i < event.reply_count && pairs.size() < n; ++i) {
+      pairs.push_back(QueryReplyPair{
+          .time = event.replies[i].time,
+          .guid = event.replies[i].guid,
+          .source_host = event.query.source_host,
+          .replying_neighbor = event.replies[i].replying_neighbor,
+          .query = event.query.query,
+      });
+    }
+  }
+  return pairs;
+}
+
+}  // namespace aar::trace

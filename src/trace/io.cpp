@@ -1,0 +1,184 @@
+#include "trace/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace aar::trace {
+
+namespace {
+
+/// Split one CSV line on commas (fields here never contain separators).
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+template <typename T>
+T parse_number(std::string_view field, const std::string& path,
+               std::size_t line_number) {
+  T value{};
+  if constexpr (std::is_floating_point_v<T>) {
+    // std::from_chars for double is inconsistently available; strtod works.
+    char* end = nullptr;
+    const std::string buffer(field);
+    value = static_cast<T>(std::strtod(buffer.c_str(), &end));
+    if (end == buffer.c_str()) {
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": bad number '" + buffer + "'");
+    }
+  } else {
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec != std::errc{} || ptr != field.data() + field.size()) {
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": bad integer '" + std::string(field) + "'");
+    }
+  }
+  return value;
+}
+
+std::ifstream open_with_header(const std::string& path,
+                               const std::string& expected_header) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header) || header != expected_header) {
+    throw std::runtime_error(path + ": expected header '" + expected_header +
+                             "', got '" + header + "'");
+  }
+  return in;
+}
+
+}  // namespace
+
+namespace {
+/// 64-bit GUIDs do not round-trip through double; serialize fields as text.
+std::string time_str(double t) {
+  std::ostringstream os;
+  os.precision(17);
+  os << t;
+  return os.str();
+}
+}  // namespace
+
+void write_queries_csv(const std::string& path, const Database& db) {
+  util::CsvWriter csv(path);
+  csv.header({"time", "guid", "source_host", "query"});
+  for (const QueryRecord& q : db.queries()) {
+    const std::vector<std::string> row{time_str(q.time), std::to_string(q.guid),
+                                       std::to_string(q.source_host),
+                                       std::to_string(q.query)};
+    csv.row(std::span<const std::string>(row));
+  }
+}
+
+void write_replies_csv(const std::string& path, const Database& db) {
+  util::CsvWriter csv(path);
+  csv.header({"time", "guid", "replying_neighbor", "serving_host", "file"});
+  for (const ReplyRecord& r : db.replies()) {
+    const std::vector<std::string> row{
+        time_str(r.time), std::to_string(r.guid),
+        std::to_string(r.replying_neighbor), std::to_string(r.serving_host),
+        std::to_string(r.file)};
+    csv.row(std::span<const std::string>(row));
+  }
+}
+
+void write_pairs_csv(const std::string& path, const Database& db) {
+  util::CsvWriter csv(path);
+  csv.header({"time", "guid", "source_host", "replying_neighbor", "query"});
+  for (const QueryReplyPair& p : db.pairs()) {
+    const std::vector<std::string> row{
+        time_str(p.time), std::to_string(p.guid),
+        std::to_string(p.source_host), std::to_string(p.replying_neighbor),
+        std::to_string(p.query)};
+    csv.row(std::span<const std::string>(row));
+  }
+}
+
+std::size_t read_queries_csv(const std::string& path, Database& db) {
+  std::ifstream in = open_with_header(path, "time,guid,source_host,query");
+  std::string line;
+  std::size_t rows = 0;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = split(line);
+    if (fields.size() != 4) {
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": expected 4 fields");
+    }
+    db.add_query(QueryRecord{
+        .time = parse_number<double>(fields[0], path, line_number),
+        .guid = parse_number<Guid>(fields[1], path, line_number),
+        .source_host = parse_number<HostId>(fields[2], path, line_number),
+        .query = parse_number<QueryKey>(fields[3], path, line_number)});
+    ++rows;
+  }
+  return rows;
+}
+
+std::size_t read_replies_csv(const std::string& path, Database& db) {
+  std::ifstream in = open_with_header(
+      path, "time,guid,replying_neighbor,serving_host,file");
+  std::string line;
+  std::size_t rows = 0;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = split(line);
+    if (fields.size() != 5) {
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": expected 5 fields");
+    }
+    db.add_reply(ReplyRecord{
+        .time = parse_number<double>(fields[0], path, line_number),
+        .guid = parse_number<Guid>(fields[1], path, line_number),
+        .replying_neighbor = parse_number<HostId>(fields[2], path, line_number),
+        .serving_host = parse_number<HostId>(fields[3], path, line_number),
+        .file = parse_number<QueryKey>(fields[4], path, line_number)});
+    ++rows;
+  }
+  return rows;
+}
+
+std::vector<QueryReplyPair> read_pairs_csv(const std::string& path) {
+  std::ifstream in = open_with_header(
+      path, "time,guid,source_host,replying_neighbor,query");
+  std::vector<QueryReplyPair> pairs;
+  std::string line;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = split(line);
+    if (fields.size() != 5) {
+      throw std::runtime_error(path + ":" + std::to_string(line_number) +
+                               ": expected 5 fields");
+    }
+    pairs.push_back(QueryReplyPair{
+        .time = parse_number<double>(fields[0], path, line_number),
+        .guid = parse_number<Guid>(fields[1], path, line_number),
+        .source_host = parse_number<HostId>(fields[2], path, line_number),
+        .replying_neighbor = parse_number<HostId>(fields[3], path, line_number),
+        .query = parse_number<QueryKey>(fields[4], path, line_number)});
+  }
+  return pairs;
+}
+
+}  // namespace aar::trace

@@ -1,0 +1,41 @@
+#pragma once
+// Trace serialization: CSV import/export for query, reply, and pair tables.
+//
+// The paper's pipeline ingested a live capture; this module is the seam
+// where a real capture (or one produced by another tool) enters the library:
+// dump a synthetic trace for external analysis, or load externally captured
+// records into trace::Database and run the full Section V evaluation on it.
+//
+// Formats (header row required):
+//   queries: time,guid,source_host,query
+//   replies: time,guid,replying_neighbor,serving_host,file
+//   pairs:   time,guid,source_host,replying_neighbor,query
+
+#include <string>
+#include <vector>
+
+#include "trace/database.hpp"
+#include "trace/record.hpp"
+
+namespace aar::trace {
+
+/// Write the database's (deduplicated) query table.  Throws on I/O error.
+void write_queries_csv(const std::string& path, const Database& db);
+
+/// Write the reply table.
+void write_replies_csv(const std::string& path, const Database& db);
+
+/// Write the joined pair table (join() must have run).
+void write_pairs_csv(const std::string& path, const Database& db);
+
+/// Load query records from CSV into `db`.  Returns rows read.
+/// Throws std::runtime_error on malformed rows or missing header.
+std::size_t read_queries_csv(const std::string& path, Database& db);
+
+/// Load reply records from CSV into `db`.  Returns rows read.
+std::size_t read_replies_csv(const std::string& path, Database& db);
+
+/// Load a pair table directly (bypassing the join) — for pair-level traces.
+[[nodiscard]] std::vector<QueryReplyPair> read_pairs_csv(const std::string& path);
+
+}  // namespace aar::trace

@@ -1,0 +1,52 @@
+#pragma once
+// Trace record types — the schema of the paper's Section IV-A database.
+//
+// The paper captured, at a modified Gnutella node, for each query: the query
+// string, time, forwarding neighbor's IP and GUID; for each reply: time,
+// GUID, replying neighbor, serving host and file name.  We keep the same
+// fields with dense integer ids (hosts and files are ids, the query string
+// collapses to the id of the file it targets), which is what every algorithm
+// downstream actually consumes.
+
+#include <cstdint>
+
+namespace aar::trace {
+
+using HostId = std::uint32_t;   ///< source hosts and neighbors share one id space
+using Guid = std::uint64_t;     ///< Gnutella globally-unique query identifier
+using QueryKey = std::uint32_t; ///< normalized query content (target file id)
+
+constexpr HostId kNoHost = 0xffffffffu;
+
+/// One query message observed at the monitored node.
+struct QueryRecord {
+  double time = 0.0;        ///< observation time, in block units
+  Guid guid = 0;            ///< GUID stamped by the issuing client
+  HostId source_host = 0;   ///< neighbor that forwarded the query to us
+  QueryKey query = 0;       ///< what was asked for
+};
+
+/// One reply (QueryHit) observed at the monitored node.
+struct ReplyRecord {
+  double time = 0.0;
+  Guid guid = 0;                 ///< GUID of the query being answered
+  HostId replying_neighbor = 0;  ///< neighbor the reply arrived through
+  HostId serving_host = 0;       ///< host that shares the matching file
+  QueryKey file = 0;             ///< the matching file
+};
+
+/// The join row the rule miner consumes: "a query from source_host was
+/// answered through replying_neighbor".  `query` carries the normalized
+/// query content so the Section VI query-dimension extension can mine
+/// (host, topic) rules; the base algorithms ignore it.
+struct QueryReplyPair {
+  double time = 0.0;
+  Guid guid = 0;
+  HostId source_host = 0;
+  HostId replying_neighbor = 0;
+  QueryKey query = 0;
+
+  friend bool operator==(const QueryReplyPair&, const QueryReplyPair&) = default;
+};
+
+}  // namespace aar::trace

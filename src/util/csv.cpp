@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace aar::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter& CsvWriter::header(std::span<const std::string> names) {
+  emit(names);
+  return *this;
+}
+
+CsvWriter& CsvWriter::row(std::span<const double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << v;
+    cells.push_back(os.str());
+  }
+  emit(cells);
+  return *this;
+}
+
+CsvWriter& CsvWriter::row(std::span<const std::string> cells) {
+  emit(cells);
+  return *this;
+}
+
+void CsvWriter::emit(std::span<const std::string> cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void write_series_csv(const std::string& path,
+                      std::span<const std::string> names,
+                      std::span<const std::vector<double>> columns) {
+  CsvWriter csv(path);
+  std::vector<std::string> header;
+  header.emplace_back("index");
+  header.insert(header.end(), names.begin(), names.end());
+  csv.header(header);
+  std::size_t rows = 0;
+  for (const auto& column : columns) rows = std::max(rows, column.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row;
+    row.reserve(columns.size() + 1);
+    row.push_back(static_cast<double>(r));
+    for (const auto& column : columns) {
+      row.push_back(r < column.size() ? column[r] : 0.0);
+    }
+    csv.row(std::span<const double>(row));
+  }
+}
+
+}  // namespace aar::util

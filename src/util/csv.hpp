@@ -1,0 +1,47 @@
+#pragma once
+// CSV emission so every figure bench leaves a re-plottable artifact in out/.
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aar::util {
+
+/// Streaming CSV writer.  Quotes cells containing separators / quotes.
+class CsvWriter {
+ public:
+  /// Opens (and truncates) `path`, creating parent directories if needed.
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter& header(std::span<const std::string> names);
+  CsvWriter& row(std::span<const double> values);
+  CsvWriter& row(std::span<const std::string> cells);
+
+  /// Convenience initializer-list overloads.
+  CsvWriter& header(std::initializer_list<std::string> names) {
+    std::vector<std::string> v(names);
+    return header(std::span<const std::string>(v));
+  }
+  CsvWriter& row(std::initializer_list<double> values) {
+    std::vector<double> v(values);
+    return row(std::span<const double>(v));
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  void emit(std::span<const std::string> cells);
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Write a set of equally-long named series as columns (block index first).
+void write_series_csv(const std::string& path,
+                      std::span<const std::string> names,
+                      std::span<const std::vector<double>> columns);
+
+}  // namespace aar::util

@@ -1,0 +1,56 @@
+#pragma once
+// Minimal task-parallel utilities for parameter sweeps.
+//
+// The benches sweep strategies / block sizes / seeds; each configuration is
+// independent, so we expose a plain thread pool and a static-chunked
+// parallel_for in the OpenMP "parallel for" spirit.  On a single-core host the
+// pool degrades to one worker and the overhead is one mutex per chunk.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aar::util {
+
+/// Fixed-size worker pool executing queued std::function tasks.
+class ThreadPool {
+ public:
+  /// threads == 0 means hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every queued and running task has finished.
+  void wait();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [begin, end) across `threads` workers with static
+/// chunking.  body must be thread-safe across distinct indices.  Runs inline
+/// when the range is small or only one worker is available.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace aar::util

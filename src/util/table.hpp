@@ -1,0 +1,39 @@
+#pragma once
+// Aligned fixed-width console tables for bench / example output.
+//
+// The bench binaries print paper-style result tables; this keeps the
+// formatting code out of every harness.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aar::util {
+
+/// Column-aligned text table.  Cells are strings; helpers format numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the row is padded / truncated to the header width.
+  Table& row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Render with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  /// Format helpers used by the benches.
+  static std::string num(double value, int precision = 3);
+  static std::string integer(long long value);
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aar::util

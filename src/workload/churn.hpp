@@ -1,0 +1,85 @@
+#pragma once
+// Peer session-lifetime (churn) processes.
+//
+// P2P measurement studies consistently show a heavy-tailed session mix: a
+// small core of long-lived peers plus a large transient population.  The
+// paper's Static-Ruleset result encodes exactly this — coverage falls but
+// plateaus near 0.4 for a while (the stable core keeps matching antecedents)
+// before decaying, while success dies fast (reply paths drift on a much
+// shorter timescale).  TwoClassChurn is the calibrated default used by the
+// trace generator; Exponential and Pareto are provided for sensitivity runs.
+
+#include <cstdint>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace aar::workload {
+
+/// Session lifetime sampler interface (lifetimes in abstract time units —
+/// the trace generator interprets them as blocks).
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+  /// Sample one session lifetime (> 0).
+  [[nodiscard]] virtual double sample_lifetime(util::Rng& rng) const = 0;
+  /// Expected lifetime (for tests and calibration).
+  [[nodiscard]] virtual double mean_lifetime() const = 0;
+};
+
+/// Memoryless sessions with a fixed mean.
+class ExponentialChurn final : public ChurnModel {
+ public:
+  explicit ExponentialChurn(double mean) : mean_(mean) {}
+  [[nodiscard]] double sample_lifetime(util::Rng& rng) const override {
+    return rng.exponential(mean_);
+  }
+  [[nodiscard]] double mean_lifetime() const override { return mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Heavy-tailed sessions: Pareto(xm, alpha), alpha > 1 so the mean exists.
+class ParetoChurn final : public ChurnModel {
+ public:
+  ParetoChurn(double xm, double alpha) : xm_(xm), alpha_(alpha) {}
+  [[nodiscard]] double sample_lifetime(util::Rng& rng) const override {
+    return rng.pareto(xm_, alpha_);
+  }
+  [[nodiscard]] double mean_lifetime() const override {
+    return alpha_ > 1.0 ? alpha_ * xm_ / (alpha_ - 1.0) : xm_;
+  }
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+/// Mixture: with probability `core_fraction` a peer is "core" (long mean
+/// lifetime), otherwise transient (short mean lifetime).  Both components
+/// are exponential.
+class TwoClassChurn final : public ChurnModel {
+ public:
+  TwoClassChurn(double core_fraction, double core_mean, double transient_mean)
+      : core_fraction_(core_fraction),
+        core_mean_(core_mean),
+        transient_mean_(transient_mean) {}
+
+  [[nodiscard]] double sample_lifetime(util::Rng& rng) const override {
+    const double mean =
+        rng.chance(core_fraction_) ? core_mean_ : transient_mean_;
+    return rng.exponential(mean);
+  }
+  [[nodiscard]] double mean_lifetime() const override {
+    return core_fraction_ * core_mean_ + (1.0 - core_fraction_) * transient_mean_;
+  }
+  [[nodiscard]] double core_fraction() const noexcept { return core_fraction_; }
+
+ private:
+  double core_fraction_;
+  double core_mean_;
+  double transient_mean_;
+};
+
+}  // namespace aar::workload

@@ -1,0 +1,52 @@
+#include "workload/content.hpp"
+
+#include <cassert>
+
+namespace aar::workload {
+
+ContentCatalogue::ContentCatalogue(const ContentConfig& config, util::Rng& rng)
+    : categories_(config.categories),
+      global_sampler_(config.files, config.popularity_skew) {
+  assert(config.files > 0 && config.categories > 0);
+  category_of_.resize(config.files);
+  by_category_.resize(config.categories);
+  // File id == global popularity rank; categories are assigned uniformly so
+  // every category gets a mix of popular and unpopular files.
+  for (FileId file = 0; file < config.files; ++file) {
+    const auto cat = static_cast<Category>(rng.below(config.categories));
+    category_of_[file] = cat;
+    by_category_[cat].push_back(file);  // ascending file id == popularity rank
+  }
+  category_samplers_.reserve(config.categories);
+  for (Category cat = 0; cat < config.categories; ++cat) {
+    const std::size_t n = by_category_[cat].size();
+    category_samplers_.emplace_back(n > 0 ? n : 1, config.popularity_skew);
+  }
+}
+
+FileId ContentCatalogue::sample_global(util::Rng& rng) const {
+  return static_cast<FileId>(global_sampler_(rng));
+}
+
+FileId ContentCatalogue::sample_in(Category cat, util::Rng& rng) const {
+  assert(cat < categories_);
+  const auto& files = by_category_[cat];
+  if (files.empty()) return sample_global(rng);
+  return files[category_samplers_[cat](rng)];
+}
+
+void LocalStore::populate(const ContentCatalogue& catalogue,
+                          const InterestProfile& profile, std::size_t count,
+                          util::Rng& rng) {
+  files_.clear();
+  // Bounded attempts: popular files repeat, so distinct-file accumulation
+  // slows down; 8x oversampling keeps this O(count) in practice.
+  const std::size_t max_attempts = count * 8 + 16;
+  std::size_t attempts = 0;
+  while (files_.size() < count && attempts++ < max_attempts) {
+    const Category cat = profile.sample_category(rng);
+    files_.insert(catalogue.sample_in(cat, rng));
+  }
+}
+
+}  // namespace aar::workload

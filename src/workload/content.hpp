@@ -1,0 +1,79 @@
+#pragma once
+// Shared-content model: a category-tagged catalogue of files with Zipf
+// popularity, plus replica placement driven by peer interests.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/interests.hpp"
+
+namespace aar::workload {
+
+using FileId = std::uint32_t;
+constexpr FileId kNoFile = 0xffffffffu;
+
+struct ContentConfig {
+  std::uint32_t files = 10'000;     ///< catalogue size
+  Category categories = 64;         ///< interest-category universe
+  double popularity_skew = 0.8;     ///< Zipf exponent over file ranks
+};
+
+/// Immutable catalogue: every file has a category and a popularity rank.
+/// Queries for a category sample files within it Zipf-by-rank.
+class ContentCatalogue {
+ public:
+  ContentCatalogue(const ContentConfig& config, util::Rng& rng);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(category_of_.size());
+  }
+  [[nodiscard]] Category categories() const noexcept { return categories_; }
+  [[nodiscard]] Category category_of(FileId file) const noexcept {
+    return category_of_[file];
+  }
+  [[nodiscard]] const std::vector<FileId>& files_in(Category cat) const noexcept {
+    return by_category_[cat];
+  }
+
+  /// Sample a file by global popularity (ignores category).
+  [[nodiscard]] FileId sample_global(util::Rng& rng) const;
+
+  /// Sample a file within a category, Zipf over that category's ranks.
+  /// Falls back to a global sample for an empty category.
+  [[nodiscard]] FileId sample_in(Category cat, util::Rng& rng) const;
+
+ private:
+  Category categories_;
+  std::vector<Category> category_of_;            // file -> category
+  std::vector<std::vector<FileId>> by_category_; // category -> popularity-ranked
+  util::ZipfSampler global_sampler_;
+  std::vector<util::ZipfSampler> category_samplers_;
+};
+
+/// A peer's local store: which files it shares.  Populated from the peer's
+/// interest profile so content exhibits interest locality.
+class LocalStore {
+ public:
+  LocalStore() = default;
+
+  /// Fill with `count` files: each drawn from a category sampled from
+  /// `profile`, file-within-category by popularity.
+  void populate(const ContentCatalogue& catalogue, const InterestProfile& profile,
+                std::size_t count, util::Rng& rng);
+
+  [[nodiscard]] bool has(FileId file) const {
+    return files_.contains(file);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return files_.size(); }
+  [[nodiscard]] const std::unordered_set<FileId>& files() const noexcept {
+    return files_;
+  }
+  void insert(FileId file) { files_.insert(file); }
+
+ private:
+  std::unordered_set<FileId> files_;
+};
+
+}  // namespace aar::workload

@@ -1,0 +1,67 @@
+#include "workload/interests.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aar::workload {
+
+InterestProfile InterestProfile::sample(util::Rng& rng, Category universe,
+                                        std::size_t breadth, double decay) {
+  assert(universe > 0 && breadth > 0);
+  breadth = std::min<std::size_t>(breadth, universe);
+  InterestProfile profile;
+  profile.categories_.reserve(breadth);
+  profile.weights_.reserve(breadth);
+
+  // Rejection-sample distinct categories; universes here are >> breadth.
+  while (profile.categories_.size() < breadth) {
+    const auto cat = static_cast<Category>(rng.below(universe));
+    if (std::find(profile.categories_.begin(), profile.categories_.end(), cat) ==
+        profile.categories_.end()) {
+      profile.categories_.push_back(cat);
+    }
+  }
+  double weight = 1.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < breadth; ++i) {
+    profile.weights_.push_back(weight);
+    total += weight;
+    weight *= decay;
+  }
+  for (double& w : profile.weights_) w /= total;
+  return profile;
+}
+
+Category InterestProfile::sample_category(util::Rng& rng) const {
+  assert(!categories_.empty());
+  const std::size_t idx = rng.weighted(weights_);
+  return categories_[idx < categories_.size() ? idx : categories_.size() - 1];
+}
+
+void InterestProfile::drift(util::Rng& rng, Category universe) {
+  if (categories_.size() < 2) return;  // keep the primary interest stable
+  // Pick a non-primary slot and replace its category with a fresh one.
+  const std::size_t slot = 1 + rng.index(categories_.size() - 1);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const auto cat = static_cast<Category>(rng.below(universe));
+    if (std::find(categories_.begin(), categories_.end(), cat) ==
+        categories_.end()) {
+      categories_[slot] = cat;
+      return;
+    }
+  }
+}
+
+double InterestProfile::similarity(const InterestProfile& other) const {
+  double shared = 0.0;
+  for (std::size_t i = 0; i < categories_.size(); ++i) {
+    for (std::size_t j = 0; j < other.categories_.size(); ++j) {
+      if (categories_[i] == other.categories_[j]) {
+        shared += std::min(weights_[i], other.weights_[j]);
+      }
+    }
+  }
+  return shared;
+}
+
+}  // namespace aar::workload

@@ -1,0 +1,56 @@
+#pragma once
+// Interest-based locality model (paper Section II / III-B).
+//
+// "Because users have a limited set of interests, a node that has provided
+// hits previously is likely to share the same interests" — the entire routing
+// approach leans on this.  We model a fixed universe of interest categories;
+// each peer draws a small weighted mixture of categories, issues queries from
+// that mixture, and stores / serves content drawn from it.  A slow drift
+// process lets a peer's mixture change over time, which is one of the two
+// dynamics (with churn) that age rule sets.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aar::workload {
+
+using Category = std::uint32_t;
+
+/// A peer's interest profile: a small set of categories with weights that
+/// sum to 1.  Sampling a query category is O(#categories in profile).
+class InterestProfile {
+ public:
+  InterestProfile() = default;
+
+  /// Draw a profile of `breadth` distinct categories out of `universe`,
+  /// with geometrically decaying weights (primary interest dominates).
+  static InterestProfile sample(util::Rng& rng, Category universe,
+                                std::size_t breadth, double decay = 0.5);
+
+  /// Sample a category according to the profile weights.
+  [[nodiscard]] Category sample_category(util::Rng& rng) const;
+
+  /// Replace one secondary interest with a fresh random category.
+  /// Models gradual interest drift; the primary interest is stable.
+  void drift(util::Rng& rng, Category universe);
+
+  [[nodiscard]] std::size_t breadth() const noexcept { return categories_.size(); }
+  [[nodiscard]] const std::vector<Category>& categories() const noexcept {
+    return categories_;
+  }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+
+  /// Shared-mass similarity in [0, 1] between two profiles: the sum over
+  /// common categories of min(weight_a, weight_b).
+  [[nodiscard]] double similarity(const InterestProfile& other) const;
+
+ private:
+  std::vector<Category> categories_;
+  std::vector<double> weights_;  // parallel to categories_, sums to 1
+};
+
+}  // namespace aar::workload

@@ -1,0 +1,197 @@
+#include "assoc/apriori.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace aar::assoc {
+namespace {
+
+TransactionDb classic_db() {
+  // The canonical textbook dataset (Agrawal et al. style).
+  TransactionDb db;
+  db.add({1, 3, 4});
+  db.add({2, 3, 5});
+  db.add({1, 2, 3, 5});
+  db.add({2, 5});
+  return db;
+}
+
+std::map<Itemset, std::uint64_t> as_map(const std::vector<FrequentItemset>& fs) {
+  std::map<Itemset, std::uint64_t> m;
+  for (const auto& f : fs) m.emplace(f.items, f.count);
+  return m;
+}
+
+TEST(Apriori, ClassicDatasetFrequentItemsets) {
+  Apriori miner({.min_support_count = 2});
+  const auto frequent = as_map(miner.mine(classic_db()));
+  // Hand-derived: {1}:2 {2}:3 {3}:3 {5}:3 {1,3}:2 {2,3}:2 {2,5}:3 {3,5}:2 {2,3,5}:2
+  EXPECT_EQ(frequent.size(), 9u);
+  EXPECT_EQ(frequent.at({1}), 2u);
+  EXPECT_EQ(frequent.at({2}), 3u);
+  EXPECT_EQ(frequent.at({3}), 3u);
+  EXPECT_EQ(frequent.at({5}), 3u);
+  EXPECT_EQ(frequent.at({1, 3}), 2u);
+  EXPECT_EQ(frequent.at({2, 3}), 2u);
+  EXPECT_EQ(frequent.at({2, 5}), 3u);
+  EXPECT_EQ(frequent.at({3, 5}), 2u);
+  EXPECT_EQ(frequent.at({2, 3, 5}), 2u);
+  EXPECT_FALSE(frequent.contains({4}));
+  EXPECT_FALSE(frequent.contains({1, 2}));
+}
+
+TEST(Apriori, EmptyDbYieldsNothing) {
+  Apriori miner({.min_support_count = 1});
+  EXPECT_TRUE(miner.mine(TransactionDb{}).empty());
+  EXPECT_TRUE(miner.rules(TransactionDb{}).empty());
+}
+
+TEST(Apriori, MinSupportOneFindsEverySubsetOfEveryTransaction) {
+  TransactionDb db;
+  db.add({1, 2});
+  Apriori miner({.min_support_count = 1});
+  const auto frequent = as_map(miner.mine(db));
+  EXPECT_EQ(frequent.size(), 3u);  // {1} {2} {1,2}
+  EXPECT_EQ(frequent.at({1, 2}), 1u);
+}
+
+TEST(Apriori, SupportMonotonicity) {
+  // Anti-monotone property: every subset of a frequent itemset is at least
+  // as frequent.
+  const TransactionDb db = classic_db();
+  Apriori miner({.min_support_count = 2});
+  const auto frequent = as_map(miner.mine(db));
+  for (const auto& [items, count] : frequent) {
+    if (items.size() < 2) continue;
+    for (std::size_t skip = 0; skip < items.size(); ++skip) {
+      Itemset subset;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != skip) subset.push_back(items[i]);
+      }
+      ASSERT_TRUE(frequent.contains(subset));
+      EXPECT_GE(frequent.at(subset), count);
+    }
+  }
+}
+
+TEST(Apriori, RaisingThresholdShrinksResult) {
+  const TransactionDb db = classic_db();
+  std::size_t previous = SIZE_MAX;
+  for (std::uint64_t threshold : {1, 2, 3, 4, 5}) {
+    Apriori miner({.min_support_count = threshold});
+    const std::size_t count = miner.mine(db).size();
+    EXPECT_LE(count, previous);
+    previous = count;
+  }
+}
+
+TEST(Apriori, MatchesBruteForceOnRandomishData) {
+  // Property check against exhaustive enumeration over a small universe.
+  TransactionDb db;
+  std::uint64_t state = 99;
+  for (int t = 0; t < 40; ++t) {
+    Itemset txn;
+    for (Item item = 0; item < 6; ++item) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      if ((state >> 60) < 6) txn.push_back(item);  // ~38% inclusion
+    }
+    db.add(std::move(txn));
+  }
+  constexpr std::uint64_t kThreshold = 5;
+  Apriori miner({.min_support_count = kThreshold});
+  const auto mined = as_map(miner.mine(db));
+
+  std::map<Itemset, std::uint64_t> expected;
+  for (unsigned mask = 1; mask < 64; ++mask) {
+    Itemset items;
+    for (Item item = 0; item < 6; ++item) {
+      if (mask & (1u << item)) items.push_back(item);
+    }
+    const std::uint64_t count = db.count_support(items);
+    if (count >= kThreshold) expected.emplace(std::move(items), count);
+  }
+  EXPECT_EQ(mined, expected);
+}
+
+TEST(Apriori, MaxItemsetSizeCapsLevels) {
+  const TransactionDb db = classic_db();
+  Apriori miner({.min_support_count = 2, .max_itemset_size = 1});
+  for (const auto& f : miner.mine(db)) EXPECT_EQ(f.items.size(), 1u);
+}
+
+TEST(Apriori, RulesRespectMinConfidence) {
+  const TransactionDb db = classic_db();
+  Apriori strict({.min_support_count = 2, .min_confidence = 0.99});
+  for (const auto& rule : strict.rules(db)) {
+    EXPECT_GE(rule.confidence(), 0.99);
+  }
+  // {5} -> {2} has confidence 3/3 = 1.
+  const auto rules = strict.rules(db);
+  const bool found = std::any_of(rules.begin(), rules.end(), [](const Rule& r) {
+    return r.antecedent == Itemset{5} && r.consequent == Itemset{2};
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(Apriori, RuleCountsAreConsistent) {
+  const TransactionDb db = classic_db();
+  Apriori miner({.min_support_count = 2, .min_confidence = 0.0});
+  for (const auto& rule : miner.rules(db)) {
+    // Antecedent and consequent are disjoint and non-empty.
+    EXPECT_FALSE(rule.antecedent.empty());
+    EXPECT_FALSE(rule.consequent.empty());
+    EXPECT_TRUE(set_difference(rule.antecedent, rule.consequent) ==
+                rule.antecedent);
+    // Raw counts match direct queries.
+    EXPECT_EQ(rule.counts.count_a, db.count_support(rule.antecedent));
+    EXPECT_EQ(rule.counts.count_c, db.count_support(rule.consequent));
+    EXPECT_EQ(rule.counts.count_ac,
+              db.count_support(set_union(rule.antecedent, rule.consequent)));
+    EXPECT_EQ(rule.counts.total, db.size());
+  }
+}
+
+TEST(Apriori, RuleGenerationSplitsEverySubset) {
+  // A single frequent 3-itemset yields 6 rules (2^3 - 2 splits).
+  TransactionDb db;
+  db.add({1, 2, 3});
+  db.add({1, 2, 3});
+  Apriori miner({.min_support_count = 2, .min_confidence = 0.0});
+  std::size_t from_triple = 0;
+  for (const auto& rule : miner.rules(db)) {
+    if (rule.antecedent.size() + rule.consequent.size() == 3) ++from_triple;
+  }
+  EXPECT_EQ(from_triple, 6u);
+}
+
+TEST(Apriori, DeterministicOrdering) {
+  const TransactionDb db = classic_db();
+  Apriori miner({.min_support_count = 2});
+  const auto a = miner.mine(db);
+  const auto b = miner.mine(db);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].items, b[i].items);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+  // Levels come smallest-first.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a[i - 1].items.size(), a[i].items.size());
+  }
+}
+
+TEST(Rule, ToStringIsReadable) {
+  Rule rule;
+  rule.antecedent = {1};
+  rule.consequent = {2};
+  rule.counts = {.total = 10, .count_a = 5, .count_c = 5, .count_ac = 4};
+  const std::string s = rule.to_string();
+  EXPECT_NE(s.find("{1} -> {2}"), std::string::npos);
+  EXPECT_NE(s.find("conf=0.80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aar::assoc

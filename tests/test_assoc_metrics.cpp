@@ -1,0 +1,85 @@
+#include "assoc/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aar::assoc {
+namespace {
+
+// 10 transactions; A in 6, C in 5, both in 4.
+constexpr RuleCounts kBasic{.total = 10, .count_a = 6, .count_c = 5, .count_ac = 4};
+
+TEST(Metrics, Support) { EXPECT_DOUBLE_EQ(support(kBasic), 0.4); }
+
+TEST(Metrics, Confidence) {
+  EXPECT_DOUBLE_EQ(confidence(kBasic), 4.0 / 6.0);
+}
+
+TEST(Metrics, Lift) {
+  // conf / P(C) = (4/6) / 0.5 = 4/3.
+  EXPECT_DOUBLE_EQ(lift(kBasic), 4.0 / 3.0);
+}
+
+TEST(Metrics, Leverage) {
+  // P(AC) - P(A)P(C) = 0.4 - 0.6*0.5 = 0.1.
+  EXPECT_NEAR(leverage(kBasic), 0.1, 1e-12);
+}
+
+TEST(Metrics, Conviction) {
+  // P(A)P(!C) / P(A & !C): (1-0.5)/(1-4/6) = 1.5.
+  EXPECT_NEAR(conviction(kBasic), 1.5, 1e-12);
+}
+
+TEST(Metrics, Jaccard) {
+  // 4 / (6 + 5 - 4) = 4/7.
+  EXPECT_DOUBLE_EQ(jaccard(kBasic), 4.0 / 7.0);
+}
+
+TEST(Metrics, IndependenceHasUnitLiftZeroLeverage) {
+  // P(A)=0.5, P(C)=0.4, P(AC)=0.2 = P(A)P(C).
+  const RuleCounts ind{.total = 100, .count_a = 50, .count_c = 40, .count_ac = 20};
+  EXPECT_DOUBLE_EQ(lift(ind), 1.0);
+  EXPECT_NEAR(leverage(ind), 0.0, 1e-12);
+  EXPECT_NEAR(conviction(ind), 1.0, 1e-12);
+}
+
+TEST(Metrics, PerfectRuleHasInfiniteConviction) {
+  const RuleCounts perfect{.total = 10, .count_a = 4, .count_c = 6, .count_ac = 4};
+  EXPECT_DOUBLE_EQ(confidence(perfect), 1.0);
+  EXPECT_GT(conviction(perfect), 1e17);
+}
+
+TEST(Metrics, ZeroTotalIsAllZero) {
+  const RuleCounts zero{};
+  EXPECT_EQ(support(zero), 0.0);
+  EXPECT_EQ(confidence(zero), 0.0);
+  EXPECT_EQ(lift(zero), 0.0);
+  EXPECT_EQ(leverage(zero), 0.0);
+  EXPECT_EQ(conviction(zero), 0.0);
+  EXPECT_EQ(jaccard(zero), 0.0);
+}
+
+TEST(Metrics, ZeroAntecedentConfidenceIsZero) {
+  const RuleCounts counts{.total = 10, .count_a = 0, .count_c = 5, .count_ac = 0};
+  EXPECT_EQ(confidence(counts), 0.0);
+  EXPECT_EQ(conviction(counts), 0.0);
+}
+
+// The paper's caviar/sugar discussion: high confidence, negligible support.
+TEST(Metrics, CaviarSugarIsHighConfidenceLowSupport) {
+  const RuleCounts caviar{.total = 10'000, .count_a = 10, .count_c = 4'000,
+                          .count_ac = 9};
+  EXPECT_GT(confidence(caviar), 0.85);
+  EXPECT_LT(support(caviar), 0.001);
+}
+
+// And diapers/beer: both measures healthy.
+TEST(Metrics, DiapersBeerHasBothMeasuresHigh) {
+  const RuleCounts diapers{.total = 10'000, .count_a = 2'000, .count_c = 3'000,
+                           .count_ac = 1'500};
+  EXPECT_GT(support(diapers), 0.1);
+  EXPECT_GT(confidence(diapers), 0.7);
+  EXPECT_GT(lift(diapers), 2.0);
+}
+
+}  // namespace
+}  // namespace aar::assoc

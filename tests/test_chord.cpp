@@ -1,0 +1,227 @@
+#include "dht/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace aar::dht {
+namespace {
+
+ChordConfig small_ring(std::size_t nodes = 128, std::uint64_t seed = 3) {
+  return ChordConfig{.nodes = nodes, .successor_list = 8, .seed = seed};
+}
+
+TEST(Chord, ConstructionInvariants) {
+  ChordRing ring(small_ring());
+  EXPECT_EQ(ring.size(), 128u);
+  EXPECT_EQ(ring.alive_count(), 128u);
+  std::set<Key> ids;
+  for (std::size_t n = 0; n < ring.size(); ++n) ids.insert(ring.id_of(n));
+  EXPECT_EQ(ids.size(), ring.size());  // distinct ring positions
+}
+
+TEST(Chord, ResponsibleMatchesBruteForce) {
+  ChordRing ring(small_ring());
+  util::Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto key = static_cast<Key>(rng());
+    const auto owner = ring.responsible(key);
+    ASSERT_TRUE(owner.has_value());
+    // Brute force: live node minimizing clockwise distance from key.
+    std::size_t best = SIZE_MAX;
+    std::uint64_t best_distance = ~0ull;
+    for (std::size_t n = 0; n < ring.size(); ++n) {
+      const std::uint64_t d =
+          (static_cast<std::uint64_t>(ring.id_of(n)) - key) & 0xffffffffull;
+      if (d < best_distance) {
+        best_distance = d;
+        best = n;
+      }
+    }
+    EXPECT_EQ(*owner, best);
+  }
+}
+
+TEST(Chord, LookupFindsOwnerFromEveryOrigin) {
+  ChordRing ring(small_ring());
+  util::Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto key = static_cast<Key>(rng());
+    const std::size_t origin = rng.index(ring.size());
+    const LookupResult result = ring.lookup(origin, key);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.owner, *ring.responsible(key));
+  }
+}
+
+TEST(Chord, LookupIsLogarithmic) {
+  ChordRing ring(small_ring(1'024, 5));
+  util::Rng rng(3);
+  double total_hops = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const LookupResult result =
+        ring.lookup(rng.index(ring.size()), static_cast<Key>(rng()));
+    ASSERT_TRUE(result.ok);
+    total_hops += result.hops;
+  }
+  const double avg = total_hops / kTrials;
+  // Theory: ~0.5 * log2(N) = 5; allow generous slack.
+  EXPECT_LT(avg, 10.0);
+  EXPECT_GT(avg, 2.0);
+}
+
+TEST(Chord, OriginOwningKeyIsZeroHops) {
+  ChordRing ring(small_ring());
+  // A node's own id is a key it owns.
+  const std::size_t node = 7;
+  const LookupResult result = ring.lookup(node, ring.id_of(node));
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.hops, 0u);
+  EXPECT_EQ(result.owner, node);
+}
+
+TEST(Chord, HashKeyIsDeterministicAndSpread) {
+  EXPECT_EQ(ChordRing::hash_key(42), ChordRing::hash_key(42));
+  std::set<Key> keys;
+  for (std::uint64_t v = 0; v < 1'000; ++v) keys.insert(ChordRing::hash_key(v));
+  EXPECT_GT(keys.size(), 990u);
+}
+
+TEST(Chord, ModerateFailuresInflateHopsBeforeStabilization) {
+  // With r = 8 successor lists, 40% simultaneous failure rarely *breaks*
+  // lookups (that is Chord's successor-list design working) — but routes
+  // lengthen, because dead fingers force detours through shorter jumps.
+  ChordRing healthy(small_ring(512, 7));
+  ChordRing ring(small_ring(512, 7));
+  util::Rng rng(4);
+  EXPECT_EQ(ring.fail_random(0.4, rng), static_cast<std::size_t>(0.4 * 512));
+
+  util::Rng workload(40);
+  double healthy_hops = 0;
+  double degraded_hops = 0;
+  std::size_t attempts = 0;
+  for (int trial = 0; trial < 800; ++trial) {
+    const std::size_t origin = workload.index(ring.size());
+    const auto key = static_cast<Key>(workload());
+    if (!ring.is_alive(origin)) continue;
+    const LookupResult degraded = ring.lookup(origin, key);
+    const LookupResult baseline = healthy.lookup(origin, key);
+    if (!degraded.ok || !baseline.ok) continue;  // rare residual failures
+    ++attempts;
+    healthy_hops += baseline.hops;
+    degraded_hops += degraded.hops;
+  }
+  ASSERT_GT(attempts, 100u);
+  EXPECT_GT(degraded_hops, healthy_hops);
+  // Stabilization repairs the inflation.
+  ring.stabilize();
+  double repaired_hops = 0;
+  std::size_t repaired_attempts = 0;
+  util::Rng workload2(40);
+  for (int trial = 0; trial < 800; ++trial) {
+    const std::size_t origin = workload2.index(ring.size());
+    const auto key = static_cast<Key>(workload2());
+    if (!ring.is_alive(origin)) continue;
+    const LookupResult result = ring.lookup(origin, key);
+    ASSERT_TRUE(result.ok);
+    repaired_hops += result.hops;
+    ++repaired_attempts;
+  }
+  EXPECT_LT(repaired_hops / static_cast<double>(repaired_attempts),
+            degraded_hops / static_cast<double>(attempts) + 0.5);
+}
+
+TEST(Chord, StabilizeRestoresCorrectness) {
+  ChordRing ring(small_ring(512, 9));
+  util::Rng rng(5);
+  ring.fail_random(0.4, rng);
+  ring.stabilize();
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t origin = rng.index(ring.size());
+    if (!ring.is_alive(origin)) continue;
+    const auto key = static_cast<Key>(rng());
+    const LookupResult result = ring.lookup(origin, key);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.owner, *ring.responsible(key));
+  }
+}
+
+TEST(Chord, MassiveSimultaneousFailureBreaksRouting) {
+  // The paper: "if a certain set of the nodes fail simultaneously, the
+  // network can become disconnected."  With deaths far beyond the successor
+  // list length, un-stabilized lookups fail in bulk.
+  ChordRing ring(small_ring(512, 11));
+  util::Rng rng(6);
+  ring.fail_random(0.75, rng);
+  std::size_t failures = 0;
+  std::size_t attempts = 0;
+  for (int trial = 0; trial < 800; ++trial) {
+    const std::size_t origin = rng.index(ring.size());
+    if (!ring.is_alive(origin)) continue;
+    ++attempts;
+    if (!ring.lookup(origin, static_cast<Key>(rng())).ok) ++failures;
+  }
+  ASSERT_GT(attempts, 50u);
+  EXPECT_GT(static_cast<double>(failures) / static_cast<double>(attempts), 0.2);
+}
+
+TEST(Chord, JoinIsInvisibleUntilStabilize) {
+  ChordRing ring(small_ring(64, 13));
+  util::Rng rng(7);
+  const std::size_t newcomer = ring.join(rng);
+  EXPECT_EQ(ring.size(), 65u);
+  EXPECT_TRUE(ring.is_alive(newcomer));
+  // Ground truth immediately assigns the newcomer its arc...
+  const Key own_key = ring.id_of(newcomer);
+  EXPECT_EQ(*ring.responsible(own_key), newcomer);
+  // ...but routing from an old node misses it (stale tables) at least for
+  // some keys in the newcomer's arc; after stabilize everything lines up.
+  std::size_t wrong_before = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::size_t origin = rng.index(64);  // an old node
+    const LookupResult result = ring.lookup(origin, own_key);
+    if (!result.ok) ++wrong_before;
+  }
+  EXPECT_GT(wrong_before, 0u);
+  ring.stabilize();
+  for (int trial = 0; trial < 50; ++trial) {
+    const LookupResult result = ring.lookup(rng.index(64), own_key);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.owner, newcomer);
+  }
+}
+
+TEST(Chord, NewcomerCanRouteImmediately) {
+  ChordRing ring(small_ring(64, 17));
+  util::Rng rng(8);
+  const std::size_t newcomer = ring.join(rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto key = static_cast<Key>(rng());
+    const LookupResult result = ring.lookup(newcomer, key);
+    ASSERT_TRUE(result.ok) << "newcomer lookups use its freshly built tables";
+  }
+}
+
+class ChordSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordSizeSweep, HopsGrowLogarithmically) {
+  ChordRing ring(small_ring(GetParam(), 21));
+  util::Rng rng(9);
+  double total = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const LookupResult result =
+        ring.lookup(rng.index(ring.size()), static_cast<Key>(rng()));
+    ASSERT_TRUE(result.ok);
+    total += result.hops;
+  }
+  EXPECT_LT(total / kTrials, 1.5 * std::log2(static_cast<double>(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
+                         ::testing::Values(64, 256, 1'024, 4'096));
+
+}  // namespace
+}  // namespace aar::dht

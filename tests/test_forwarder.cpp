@@ -1,0 +1,89 @@
+#include "core/forwarder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aar::core {
+namespace {
+
+RuleSet sample_rules() {
+  std::vector<trace::QueryReplyPair> pairs;
+  auto add = [&pairs](HostId source, HostId replier, int count) {
+    for (int i = 0; i < count; ++i) {
+      pairs.push_back({.time = 0.0,
+                       .guid = static_cast<trace::Guid>(pairs.size() + 1),
+                       .source_host = source,
+                       .replying_neighbor = replier});
+    }
+  };
+  add(1, 100, 5);
+  add(1, 101, 3);
+  add(1, 102, 1);
+  add(2, 200, 4);
+  return RuleSet::build(pairs, 1);
+}
+
+TEST(Forwarder, UnknownAntecedentFloods) {
+  Forwarder forwarder;
+  util::Rng rng(1);
+  const ForwardDecision decision = forwarder.decide(sample_rules(), 99, rng);
+  EXPECT_TRUE(decision.flood);
+  EXPECT_FALSE(decision.rule_routed());
+  EXPECT_TRUE(decision.targets.empty());
+}
+
+TEST(Forwarder, TopKPicksHighestSupport) {
+  Forwarder forwarder({.k = 2, .mode = SelectionMode::kTopK});
+  util::Rng rng(2);
+  const ForwardDecision decision = forwarder.decide(sample_rules(), 1, rng);
+  EXPECT_TRUE(decision.rule_routed());
+  EXPECT_EQ(decision.targets, (std::vector<HostId>{100, 101}));
+}
+
+TEST(Forwarder, KOneIsSingleBestNeighbor) {
+  Forwarder forwarder({.k = 1});
+  util::Rng rng(3);
+  const ForwardDecision decision = forwarder.decide(sample_rules(), 1, rng);
+  EXPECT_EQ(decision.targets, (std::vector<HostId>{100}));
+}
+
+TEST(Forwarder, KLargerThanRulesReturnsAll) {
+  Forwarder forwarder({.k = 10});
+  util::Rng rng(4);
+  const ForwardDecision decision = forwarder.decide(sample_rules(), 2, rng);
+  EXPECT_EQ(decision.targets, (std::vector<HostId>{200}));
+  EXPECT_FALSE(decision.flood);
+}
+
+TEST(Forwarder, RandomKStaysWithinConsequents) {
+  Forwarder forwarder({.k = 2, .mode = SelectionMode::kRandomK});
+  util::Rng rng(5);
+  const RuleSet rules = sample_rules();
+  std::set<HostId> seen;
+  for (int i = 0; i < 100; ++i) {
+    const ForwardDecision decision = forwarder.decide(rules, 1, rng);
+    EXPECT_EQ(decision.targets.size(), 2u);
+    for (HostId h : decision.targets) {
+      EXPECT_TRUE(h == 100 || h == 101 || h == 102);
+      seen.insert(h);
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u);  // randomization explores every consequent
+}
+
+TEST(Forwarder, EmptyRuleSetAlwaysFloods) {
+  Forwarder forwarder;
+  util::Rng rng(6);
+  const RuleSet empty;
+  EXPECT_TRUE(forwarder.decide(empty, 1, rng).flood);
+}
+
+TEST(Forwarder, ConfigIsAccessible) {
+  Forwarder forwarder({.k = 3, .mode = SelectionMode::kRandomK});
+  EXPECT_EQ(forwarder.config().k, 3u);
+  EXPECT_EQ(forwarder.config().mode, SelectionMode::kRandomK);
+}
+
+}  // namespace
+}  // namespace aar::core

@@ -1,0 +1,127 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace aar::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+  void TearDown() override {
+    for (const char* name :
+         {"aar_q.csv", "aar_r.csv", "aar_p.csv", "aar_bad.csv"}) {
+      std::remove(path(name).c_str());
+    }
+  }
+};
+
+Database sample_db() {
+  TraceConfig config;
+  config.seed = 5;
+  config.block_size = 500;
+  config.active_hosts = 30;
+  config.reply_neighbors = 8;
+  TraceGenerator generator(config);
+  Database db;
+  db.import(generator, 1'000);
+  db.join();
+  return db;
+}
+
+TEST_F(TraceIoTest, QueriesRoundTrip) {
+  Database db = sample_db();
+  write_queries_csv(path("aar_q.csv"), db);
+  Database loaded;
+  const std::size_t rows = read_queries_csv(path("aar_q.csv"), loaded);
+  ASSERT_EQ(rows, db.queries().size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    EXPECT_EQ(loaded.queries()[i].guid, db.queries()[i].guid);
+    EXPECT_EQ(loaded.queries()[i].source_host, db.queries()[i].source_host);
+    EXPECT_EQ(loaded.queries()[i].query, db.queries()[i].query);
+    EXPECT_NEAR(loaded.queries()[i].time, db.queries()[i].time, 1e-9);
+  }
+}
+
+TEST_F(TraceIoTest, RepliesRoundTrip) {
+  Database db = sample_db();
+  write_replies_csv(path("aar_r.csv"), db);
+  Database loaded;
+  const std::size_t rows = read_replies_csv(path("aar_r.csv"), loaded);
+  ASSERT_EQ(rows, db.replies().size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    EXPECT_EQ(loaded.replies()[i].guid, db.replies()[i].guid);
+    EXPECT_EQ(loaded.replies()[i].replying_neighbor,
+              db.replies()[i].replying_neighbor);
+    EXPECT_EQ(loaded.replies()[i].serving_host, db.replies()[i].serving_host);
+  }
+}
+
+TEST_F(TraceIoTest, PairsRoundTripPreservesFullGuids) {
+  Database db = sample_db();
+  write_pairs_csv(path("aar_p.csv"), db);
+  const std::vector<QueryReplyPair> loaded = read_pairs_csv(path("aar_p.csv"));
+  ASSERT_EQ(loaded.size(), db.pairs().size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    // GUIDs are full 64-bit values; any float round-trip would corrupt them.
+    EXPECT_EQ(loaded[i].guid, db.pairs()[i].guid);
+    EXPECT_EQ(loaded[i].source_host, db.pairs()[i].source_host);
+    EXPECT_EQ(loaded[i].replying_neighbor, db.pairs()[i].replying_neighbor);
+    EXPECT_EQ(loaded[i].query, db.pairs()[i].query);
+  }
+}
+
+TEST_F(TraceIoTest, RoundTrippedPipelineMatchesOriginal) {
+  // queries.csv + replies.csv -> fresh Database -> join == original join.
+  Database db = sample_db();
+  write_queries_csv(path("aar_q.csv"), db);
+  write_replies_csv(path("aar_r.csv"), db);
+  Database loaded;
+  read_queries_csv(path("aar_q.csv"), loaded);
+  read_replies_csv(path("aar_r.csv"), loaded);
+  loaded.join();
+  ASSERT_EQ(loaded.pairs().size(), db.pairs().size());
+  for (std::size_t i = 0; i < loaded.pairs().size(); ++i) {
+    EXPECT_EQ(loaded.pairs()[i], db.pairs()[i]);
+  }
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  Database db;
+  EXPECT_THROW(read_queries_csv("/nonexistent/queries.csv", db),
+               std::runtime_error);
+  EXPECT_THROW(read_pairs_csv("/nonexistent/pairs.csv"), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, WrongHeaderThrows) {
+  std::ofstream out(path("aar_bad.csv"));
+  out << "completely,wrong,header\n1,2,3\n";
+  out.close();
+  Database db;
+  EXPECT_THROW(read_queries_csv(path("aar_bad.csv"), db), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MalformedRowThrows) {
+  std::ofstream out(path("aar_bad.csv"));
+  out << "time,guid,source_host,query\n1.0,notanumber,3,4\n";
+  out.close();
+  Database db;
+  EXPECT_THROW(read_queries_csv(path("aar_bad.csv"), db), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, WrongFieldCountThrows) {
+  std::ofstream out(path("aar_bad.csv"));
+  out << "time,guid,source_host,query\n1.0,2,3\n";
+  out.close();
+  Database db;
+  EXPECT_THROW(read_queries_csv(path("aar_bad.csv"), db), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aar::trace

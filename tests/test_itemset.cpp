@@ -1,0 +1,94 @@
+#include "assoc/itemset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aar::assoc {
+namespace {
+
+TEST(Itemset, CanonicalizeSortsAndDedupes) {
+  Itemset items{3, 1, 2, 3, 1};
+  canonicalize(items);
+  EXPECT_EQ(items, (Itemset{1, 2, 3}));
+}
+
+TEST(Itemset, CanonicalizeEmpty) {
+  Itemset items;
+  canonicalize(items);
+  EXPECT_TRUE(items.empty());
+}
+
+TEST(Itemset, SubsetChecks) {
+  const Itemset super{1, 2, 3, 5};
+  EXPECT_TRUE(is_subset(Itemset{}, super));
+  EXPECT_TRUE(is_subset(Itemset{2}, super));
+  EXPECT_TRUE(is_subset(Itemset{1, 5}, super));
+  EXPECT_TRUE(is_subset(super, super));
+  EXPECT_FALSE(is_subset(Itemset{4}, super));
+  EXPECT_FALSE(is_subset(Itemset{1, 4}, super));
+  EXPECT_FALSE(is_subset(super, Itemset{1, 2}));
+}
+
+TEST(Itemset, UnionAndDifference) {
+  const Itemset a{1, 3, 5};
+  const Itemset b{2, 3, 4};
+  EXPECT_EQ(set_union(a, b), (Itemset{1, 2, 3, 4, 5}));
+  EXPECT_EQ(set_difference(a, b), (Itemset{1, 5}));
+  EXPECT_EQ(set_difference(b, a), (Itemset{2, 4}));
+  EXPECT_EQ(set_union(a, Itemset{}), a);
+  EXPECT_TRUE(set_difference(a, a).empty());
+}
+
+TEST(TransactionDb, CountsSupport) {
+  TransactionDb db;
+  db.add({1, 2, 3});
+  db.add({1, 2});
+  db.add({2, 3});
+  db.add({1});
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(db.count_support(Itemset{1}), 3u);
+  EXPECT_EQ(db.count_support(Itemset{2}), 3u);
+  EXPECT_EQ(db.count_support(Itemset{1, 2}), 2u);
+  EXPECT_EQ(db.count_support(Itemset{1, 2, 3}), 1u);
+  EXPECT_EQ(db.count_support(Itemset{4}), 0u);
+}
+
+TEST(TransactionDb, EmptyItemsetSupportedEverywhere) {
+  TransactionDb db;
+  db.add({1});
+  db.add({2});
+  EXPECT_EQ(db.count_support(Itemset{}), 2u);
+  EXPECT_DOUBLE_EQ(db.support(Itemset{}), 1.0);
+}
+
+TEST(TransactionDb, SupportFractions) {
+  TransactionDb db;
+  db.add({1, 2});
+  db.add({1});
+  db.add({2});
+  db.add({3});
+  EXPECT_DOUBLE_EQ(db.support(Itemset{1}), 0.5);
+  EXPECT_DOUBLE_EQ(db.support(Itemset{1, 2}), 0.25);
+}
+
+TEST(TransactionDb, EmptyDbSupportIsZero) {
+  TransactionDb db;
+  EXPECT_DOUBLE_EQ(db.support(Itemset{1}), 0.0);
+}
+
+TEST(TransactionDb, TransactionsAreCanonicalized) {
+  TransactionDb db;
+  db.add({5, 1, 5, 3});
+  EXPECT_EQ(db.transactions()[0], (Itemset{1, 3, 5}));
+}
+
+TEST(TransactionDb, ItemBoundTracksLargestItem) {
+  TransactionDb db;
+  EXPECT_EQ(db.item_bound(), 0u);
+  db.add({2, 7});
+  EXPECT_EQ(db.item_bound(), 8u);
+  db.add({1});
+  EXPECT_EQ(db.item_bound(), 8u);
+}
+
+}  // namespace
+}  // namespace aar::assoc

@@ -1,0 +1,130 @@
+#include "core/measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aar::core {
+namespace {
+
+using trace::QueryReplyPair;
+
+QueryReplyPair pair(trace::Guid guid, HostId source, HostId replier) {
+  return {.time = 0.0, .guid = guid, .source_host = source,
+          .replying_neighbor = replier};
+}
+
+RuleSet rules_from(const std::vector<QueryReplyPair>& pairs,
+                   std::uint32_t min_support = 1) {
+  return RuleSet::build(pairs, min_support);
+}
+
+TEST(Measures, EmptyBlock) {
+  const RuleSet rules;
+  const BlockMeasures m = evaluate(rules, {});
+  EXPECT_EQ(m.total_queries, 0u);
+  EXPECT_EQ(m.coverage(), 0.0);
+  EXPECT_EQ(m.success(), 0.0);
+}
+
+TEST(Measures, PerfectRuleSet) {
+  const std::vector<QueryReplyPair> train{pair(1, 10, 100), pair(2, 20, 200)};
+  const RuleSet rules = rules_from(train);
+  const std::vector<QueryReplyPair> test{pair(3, 10, 100), pair(4, 20, 200)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.total_queries, 2u);
+  EXPECT_EQ(m.covered, 2u);
+  EXPECT_EQ(m.successful, 2u);
+  EXPECT_DOUBLE_EQ(m.coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(m.success(), 1.0);
+}
+
+TEST(Measures, CoverageWithoutSuccess) {
+  // Antecedent known, but replies come through a different neighbor.
+  const RuleSet rules = rules_from({pair(1, 10, 100)});
+  const std::vector<QueryReplyPair> test{pair(2, 10, 999)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.total_queries, 1u);
+  EXPECT_EQ(m.covered, 1u);
+  EXPECT_EQ(m.successful, 0u);
+  EXPECT_DOUBLE_EQ(m.coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(m.success(), 0.0);
+}
+
+TEST(Measures, UncoveredQueriesLowerAlphaOnly) {
+  const RuleSet rules = rules_from({pair(1, 10, 100)});
+  const std::vector<QueryReplyPair> test{
+      pair(2, 10, 100),  // covered + successful
+      pair(3, 55, 100),  // unknown source -> uncovered
+  };
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_DOUBLE_EQ(m.coverage(), 0.5);
+  EXPECT_DOUBLE_EQ(m.success(), 1.0);  // of the covered one
+}
+
+TEST(Measures, QueriesAreUniqueByGuid) {
+  const RuleSet rules = rules_from({pair(1, 10, 100)});
+  // One query answered through three neighbors: counts once for N and n.
+  const std::vector<QueryReplyPair> test{
+      pair(7, 10, 500), pair(7, 10, 501), pair(7, 10, 100)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.total_queries, 1u);
+  EXPECT_EQ(m.covered, 1u);
+  EXPECT_EQ(m.successful, 1u);  // any matching reply counts, once
+}
+
+TEST(Measures, MultiReplySuccessCountsOnce) {
+  const RuleSet rules = rules_from({pair(1, 10, 100), pair(2, 10, 101)});
+  const std::vector<QueryReplyPair> test{pair(9, 10, 100), pair(9, 10, 101)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.successful, 1u);
+}
+
+TEST(Measures, SuccessIsConditionalOnCoverage) {
+  // An uncovered query whose pair happens to exist in no rule: success
+  // denominator only counts covered queries.
+  const RuleSet rules = rules_from({pair(1, 10, 100)});
+  const std::vector<QueryReplyPair> test{
+      pair(2, 10, 100), pair(3, 20, 100), pair(4, 30, 100), pair(5, 40, 100)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.total_queries, 4u);
+  EXPECT_EQ(m.covered, 1u);
+  EXPECT_EQ(m.successful, 1u);
+  EXPECT_DOUBLE_EQ(m.coverage(), 0.25);
+  EXPECT_DOUBLE_EQ(m.success(), 1.0);
+}
+
+TEST(Measures, ValuesAlwaysInUnitInterval) {
+  util::Rng rng(11);
+  std::vector<QueryReplyPair> train;
+  std::vector<QueryReplyPair> test;
+  for (int i = 0; i < 500; ++i) {
+    train.push_back(pair(static_cast<trace::Guid>(i),
+                         static_cast<HostId>(rng.below(30)),
+                         static_cast<HostId>(100 + rng.below(8))));
+    test.push_back(pair(static_cast<trace::Guid>(1000 + i),
+                        static_cast<HostId>(rng.below(40)),
+                        static_cast<HostId>(100 + rng.below(8))));
+  }
+  for (std::uint32_t threshold : {1u, 3u, 10u, 100u}) {
+    const BlockMeasures m = evaluate(RuleSet::build(train, threshold), test);
+    EXPECT_GE(m.coverage(), 0.0);
+    EXPECT_LE(m.coverage(), 1.0);
+    EXPECT_GE(m.success(), 0.0);
+    EXPECT_LE(m.success(), 1.0);
+    EXPECT_LE(m.successful, m.covered);
+    EXPECT_LE(m.covered, m.total_queries);
+  }
+}
+
+TEST(Measures, EmptyRuleSetCoversNothing) {
+  const RuleSet rules;
+  const std::vector<QueryReplyPair> test{pair(1, 10, 100), pair(2, 11, 100)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.total_queries, 2u);
+  EXPECT_EQ(m.covered, 0u);
+  EXPECT_EQ(m.success(), 0.0);
+}
+
+}  // namespace
+}  // namespace aar::core

@@ -1,0 +1,235 @@
+#include "overlay/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace aar::overlay {
+namespace {
+
+/// Line topology 0 - 1 - 2 - ... - (n-1).
+Graph line_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+PolicyFactory flooding_factory() {
+  return [](NodeId) { return std::make_unique<FloodingPolicy>(); };
+}
+
+NetworkConfig tiny_config() {
+  NetworkConfig config;
+  config.seed = 3;
+  config.files_per_node = 4;
+  config.content.files = 200;
+  config.content.categories = 8;
+  return config;
+}
+
+/// Plant `file` at exactly `holder`, removing it elsewhere is not possible
+/// through the public API, so use a fresh rare file id instead: pick one no
+/// store contains.
+workload::FileId unowned_file(const Network& network) {
+  for (workload::FileId f = network.catalogue().size(); f-- > 0;) {
+    if (network.replica_count(f) == 0) return f;
+  }
+  return workload::kNoFile;
+}
+
+TEST(Network, FloodReachesWholeLineWithinTtl) {
+  Network net(tiny_config(), line_graph(6), flooding_factory());
+  const workload::FileId missing = unowned_file(net);
+  ASSERT_NE(missing, workload::kNoFile);
+  const SearchOutcome out = net.search(0, missing, {.ttl = 5});
+  EXPECT_FALSE(out.hit);
+  EXPECT_EQ(out.nodes_reached, 6u);
+  EXPECT_EQ(out.query_messages, 5u);  // one per hop down the line
+}
+
+TEST(Network, TtlLimitsScope) {
+  Network net(tiny_config(), line_graph(6), flooding_factory());
+  const workload::FileId missing = unowned_file(net);
+  const SearchOutcome out = net.search(0, missing, {.ttl = 2});
+  EXPECT_EQ(out.nodes_reached, 3u);  // origin + 2 hops
+  EXPECT_EQ(out.query_messages, 2u);
+}
+
+TEST(Network, FindsPlantedFileAndCountsHops) {
+  Network net(tiny_config(), line_graph(5), flooding_factory());
+  const workload::FileId file = unowned_file(net);
+  // Plant at node 3 via the test-visible store of a const peer is not
+  // allowed; use a policy-level check instead: plant through const_cast-free
+  // path — search for a file node 3 already has.
+  workload::FileId owned = workload::kNoFile;
+  for (workload::FileId f : net.peer(3).store.files()) {
+    owned = f;
+    break;
+  }
+  ASSERT_NE(owned, workload::kNoFile);
+  // Ensure closer nodes do not have it; if they do, hops just come out lower,
+  // so only assert the hit and the hop bound.
+  const SearchOutcome out = net.search(0, owned, {.ttl = 5});
+  EXPECT_TRUE(out.hit);
+  EXPECT_LE(out.hops_to_first_hit, 3u);
+  EXPECT_GE(out.replicas_found, 1u);
+  (void)file;
+}
+
+TEST(Network, OriginOwningFileIsZeroHopHit) {
+  Network net(tiny_config(), line_graph(4), flooding_factory());
+  workload::FileId owned = workload::kNoFile;
+  for (workload::FileId f : net.peer(2).store.files()) {
+    owned = f;
+    break;
+  }
+  ASSERT_NE(owned, workload::kNoFile);
+  const SearchOutcome out = net.search(2, owned, {.ttl = 3});
+  EXPECT_TRUE(out.hit);
+  EXPECT_EQ(out.hops_to_first_hit, 0u);
+}
+
+TEST(Network, ReplyMessagesMatchPathLength) {
+  // Star: center 0, leaves 1..4.  A hit at a leaf is 1 hop; reply = 1 msg.
+  Graph star(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) star.add_edge(0, leaf);
+  Network net(tiny_config(), std::move(star), flooding_factory());
+  workload::FileId owned = workload::kNoFile;
+  for (workload::FileId f : net.peer(3).store.files()) {
+    bool elsewhere = false;
+    for (NodeId n = 0; n < 5; ++n) {
+      if (n != 3 && net.peer(n).store.has(f)) elsewhere = true;
+    }
+    if (!elsewhere) {
+      owned = f;
+      break;
+    }
+  }
+  ASSERT_NE(owned, workload::kNoFile);
+  const SearchOutcome out = net.search(0, owned, {.ttl = 2});
+  EXPECT_TRUE(out.hit);
+  EXPECT_EQ(out.hops_to_first_hit, 1u);
+  EXPECT_EQ(out.reply_messages, 1u);
+  EXPECT_EQ(out.query_messages, 4u);  // flood to 4 leaves
+}
+
+TEST(Network, DuplicateSuppressionOnACycle) {
+  // Triangle: flooding from 0 sends 2 messages out, then 1<->2 exchange two
+  // duplicates that are dropped; total query messages = 2 + 2 = 4 (TTL 3).
+  Graph triangle(3);
+  triangle.add_edge(0, 1);
+  triangle.add_edge(1, 2);
+  triangle.add_edge(0, 2);
+  Network net(tiny_config(), std::move(triangle), flooding_factory());
+  const workload::FileId missing = unowned_file(net);
+  const SearchOutcome out = net.search(0, missing, {.ttl = 3});
+  EXPECT_EQ(out.nodes_reached, 3u);
+  EXPECT_EQ(out.query_messages, 4u);
+}
+
+TEST(Network, ExpandingRingStopsEarlyOnNearbyContent) {
+  Network net(tiny_config(), line_graph(8), flooding_factory());
+  workload::FileId owned = workload::kNoFile;
+  for (workload::FileId f : net.peer(1).store.files()) {
+    owned = f;
+    break;
+  }
+  ASSERT_NE(owned, workload::kNoFile);
+  const SearchOutcome ring =
+      net.search(0, owned, {.ttl = 7, .mode = SearchMode::kExpandingRing});
+  EXPECT_TRUE(ring.hit);
+  // TTL-1 ring suffices: exactly 1 query message if node 1 holds it, or a
+  // couple more if retried; in all cases well below a TTL-7 line flood.
+  EXPECT_LE(ring.query_messages, 4u);
+}
+
+TEST(Network, ExpandingRingEventuallyUsesFullTtl) {
+  Network net(tiny_config(), line_graph(8), flooding_factory());
+  const workload::FileId missing = unowned_file(net);
+  const SearchOutcome ring =
+      net.search(0, missing, {.ttl = 7, .mode = SearchMode::kExpandingRing});
+  EXPECT_FALSE(ring.hit);
+  // Rings 1, 2, 4, 7 on a line: 1 + 2 + 4 + 7 = 14 query messages.
+  EXPECT_EQ(ring.query_messages, 14u);
+}
+
+TEST(Network, SampleTargetRespectsInterests) {
+  NetworkConfig config = tiny_config();
+  config.content.files = 5'000;
+  config.content.categories = 64;
+  Network net(config, line_graph(10), flooding_factory());
+  for (NodeId n = 0; n < 10; ++n) {
+    const auto& cats = net.peer(n).profile.categories();
+    for (int i = 0; i < 20; ++i) {
+      const workload::FileId target = net.sample_target(n);
+      const workload::Category cat = net.catalogue().category_of(target);
+      EXPECT_NE(std::find(cats.begin(), cats.end(), cat), cats.end());
+    }
+  }
+}
+
+TEST(Network, SetPolicySwapsBehaviour) {
+  Network net(tiny_config(), line_graph(4), flooding_factory());
+  net.set_policy(0, std::make_unique<KRandomWalkPolicy>(1));
+  EXPECT_EQ(net.policy(0).name(), "k-random-walk(1)");
+  EXPECT_EQ(net.policy(1).name(), "flooding");
+}
+
+// Learning hook plumbing: a recording policy observes reply paths.
+class RecordingPolicy final : public RoutingPolicy {
+ public:
+  struct Observation {
+    NodeId self, upstream, downstream;
+  };
+  static std::vector<Observation>& log() {
+    static std::vector<Observation> observations;
+    return observations;
+  }
+  [[nodiscard]] std::string name() const override { return "recording"; }
+  bool route(const Query&, NodeId, NodeId from,
+             std::span<const NodeId> neighbors, util::Rng&,
+             std::vector<NodeId>& out) override {
+    for (NodeId n : neighbors) {
+      if (n != from) out.push_back(n);
+    }
+    return false;
+  }
+  void on_reply_path(const Query&, NodeId self, NodeId upstream,
+                     NodeId downstream) override {
+    log().push_back({self, upstream, downstream});
+  }
+};
+
+TEST(Network, ReplyPathTeachesEveryIntermediateNode) {
+  RecordingPolicy::log().clear();
+  Network net(tiny_config(), line_graph(5),
+              [](NodeId) { return std::make_unique<RecordingPolicy>(); });
+  // Find a file held by node 4 and nobody closer to 0.
+  workload::FileId target = workload::kNoFile;
+  for (workload::FileId f : net.peer(4).store.files()) {
+    bool closer = false;
+    for (NodeId n = 0; n < 4; ++n) closer |= net.peer(n).store.has(f);
+    if (!closer) {
+      target = f;
+      break;
+    }
+  }
+  ASSERT_NE(target, workload::kNoFile);
+  const SearchOutcome out = net.search(0, target, {.ttl = 6});
+  ASSERT_TRUE(out.hit);
+  EXPECT_EQ(out.hops_to_first_hit, 4u);
+  // Reply path 4 -> 3 -> 2 -> 1 -> 0 teaches nodes 3, 2, 1 and the origin 0.
+  ASSERT_EQ(RecordingPolicy::log().size(), 4u);
+  const auto& obs = RecordingPolicy::log();
+  // Node 3 learned {2} -> {4}: queries from 2 should go to 4.
+  EXPECT_EQ(obs[0].self, 3u);
+  EXPECT_EQ(obs[0].upstream, 2u);
+  EXPECT_EQ(obs[0].downstream, 4u);
+  // Origin learns {self} -> {1}.
+  EXPECT_EQ(obs[3].self, 0u);
+  EXPECT_EQ(obs[3].upstream, 0u);
+  EXPECT_EQ(obs[3].downstream, 1u);
+}
+
+}  // namespace
+}  // namespace aar::overlay

@@ -1,0 +1,99 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace aar::util {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsGracefully) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.wait();
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelFor, CoversEntireRange) {
+  std::vector<std::atomic<int>> touched(1000);
+  parallel_for(0, touched.size(),
+               [&touched](std::size_t i) { touched[i].fetch_add(1); }, 4);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&calls](std::size_t) { calls.fetch_add(1); }, 4);
+  parallel_for(7, 3, [&calls](std::size_t) { calls.fetch_add(1); }, 4);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleThreadIsSequential) {
+  std::vector<std::size_t> order;
+  parallel_for(0, 10, [&order](std::size_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, SumReduction) {
+  constexpr std::size_t kN = 10'000;
+  std::atomic<long long> total{0};
+  parallel_for(0, kN,
+               [&total](std::size_t i) {
+                 total.fetch_add(static_cast<long long>(i));
+               },
+               8);
+  EXPECT_EQ(total.load(), static_cast<long long>(kN * (kN - 1) / 2));
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<int> calls{0};
+  parallel_for(90, 100, [&calls](std::size_t i) {
+    EXPECT_GE(i, 90u);
+    EXPECT_LT(i, 100u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+}  // namespace
+}  // namespace aar::util

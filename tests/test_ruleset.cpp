@@ -1,0 +1,215 @@
+#include "core/ruleset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace aar::core {
+namespace {
+
+using trace::QueryReplyPair;
+
+/// n pairs (source -> replier), one query each.
+void add_pairs(std::vector<QueryReplyPair>& pairs, HostId source,
+               HostId replier, int count) {
+  for (int i = 0; i < count; ++i) {
+    pairs.push_back(QueryReplyPair{
+        .time = static_cast<double>(pairs.size()),
+        .guid = static_cast<trace::Guid>(pairs.size() + 1),
+        .source_host = source,
+        .replying_neighbor = replier,
+    });
+  }
+}
+
+TEST(RuleSet, BuildCountsAndPrunes) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 5);
+  add_pairs(pairs, 1, 101, 2);
+  add_pairs(pairs, 2, 100, 3);
+  add_pairs(pairs, 3, 102, 1);
+
+  const RuleSet rules = RuleSet::build(pairs, 3);
+  EXPECT_TRUE(rules.covers(1));
+  EXPECT_TRUE(rules.covers(2));
+  EXPECT_FALSE(rules.covers(3));            // below threshold
+  EXPECT_TRUE(rules.matches(1, 100));
+  EXPECT_FALSE(rules.matches(1, 101));      // pair pruned
+  EXPECT_TRUE(rules.matches(2, 100));
+  EXPECT_FALSE(rules.matches(2, 101));
+  EXPECT_EQ(rules.num_antecedents(), 2u);
+  EXPECT_EQ(rules.num_rules(), 2u);
+}
+
+TEST(RuleSet, MinSupportOneKeepsEverything) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 1);
+  add_pairs(pairs, 2, 101, 1);
+  const RuleSet rules = RuleSet::build(pairs, 1);
+  EXPECT_EQ(rules.num_rules(), 2u);
+}
+
+TEST(RuleSet, EmptyInput) {
+  const RuleSet rules = RuleSet::build({}, 1);
+  EXPECT_TRUE(rules.empty());
+  EXPECT_FALSE(rules.covers(1));
+  EXPECT_FALSE(rules.matches(1, 2));
+  EXPECT_TRUE(rules.consequents(1).empty());
+  EXPECT_TRUE(rules.top_k(1, 3).empty());
+}
+
+TEST(RuleSet, ConsequentsSortedBySupportDescending) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 2);
+  add_pairs(pairs, 1, 101, 7);
+  add_pairs(pairs, 1, 102, 4);
+  const RuleSet rules = RuleSet::build(pairs, 1);
+  const auto consequents = rules.consequents(1);
+  ASSERT_EQ(consequents.size(), 3u);
+  EXPECT_EQ(consequents[0].neighbor, 101u);
+  EXPECT_EQ(consequents[0].support, 7u);
+  EXPECT_EQ(consequents[1].neighbor, 102u);
+  EXPECT_EQ(consequents[2].neighbor, 100u);
+}
+
+TEST(RuleSet, TiesBreakByNeighborId) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 200, 3);
+  add_pairs(pairs, 1, 100, 3);
+  const RuleSet rules = RuleSet::build(pairs, 1);
+  const auto consequents = rules.consequents(1);
+  ASSERT_EQ(consequents.size(), 2u);
+  EXPECT_EQ(consequents[0].neighbor, 100u);  // deterministic tie-break
+}
+
+TEST(RuleSet, TopKTruncates) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 5);
+  add_pairs(pairs, 1, 101, 4);
+  add_pairs(pairs, 1, 102, 3);
+  const RuleSet rules = RuleSet::build(pairs, 1);
+  EXPECT_EQ(rules.top_k(1, 2), (std::vector<HostId>{100, 101}));
+  EXPECT_EQ(rules.top_k(1, 10).size(), 3u);
+  EXPECT_TRUE(rules.top_k(99, 2).empty());
+}
+
+TEST(RuleSet, RandomKIsSubsetOfConsequents) {
+  std::vector<QueryReplyPair> pairs;
+  for (HostId replier = 100; replier < 110; ++replier) {
+    add_pairs(pairs, 1, replier, 2);
+  }
+  const RuleSet rules = RuleSet::build(pairs, 1);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picked = rules.random_k(1, 4, rng);
+    EXPECT_EQ(picked.size(), 4u);
+    std::set<HostId> unique(picked.begin(), picked.end());
+    EXPECT_EQ(unique.size(), 4u);  // no repeats
+    for (HostId h : picked) {
+      EXPECT_GE(h, 100u);
+      EXPECT_LT(h, 110u);
+    }
+  }
+}
+
+TEST(RuleSet, RandomKVariesAcrossDraws) {
+  std::vector<QueryReplyPair> pairs;
+  for (HostId replier = 100; replier < 110; ++replier) {
+    add_pairs(pairs, 1, replier, 2);
+  }
+  const RuleSet rules = RuleSet::build(pairs, 1);
+  util::Rng rng(4);
+  std::set<std::vector<HostId>> draws;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto picked = rules.random_k(1, 3, rng);
+    std::sort(picked.begin(), picked.end());
+    draws.insert(picked);
+  }
+  EXPECT_GT(draws.size(), 1u);
+}
+
+TEST(RuleSet, SupportCountsAreExact) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 7, 300, 13);
+  const RuleSet rules = RuleSet::build(pairs, 10);
+  const auto consequents = rules.consequents(7);
+  ASSERT_EQ(consequents.size(), 1u);
+  EXPECT_EQ(consequents[0].support, 13u);
+}
+
+TEST(RuleSetSerialization, RoundTripsExactly) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 5);
+  add_pairs(pairs, 1, 101, 3);
+  add_pairs(pairs, 42, 200, 7);
+  const RuleSet original = RuleSet::build(pairs, 1);
+  std::stringstream buffer;
+  original.save(buffer);
+  const RuleSet loaded = RuleSet::load(buffer);
+  EXPECT_EQ(loaded, original);
+  EXPECT_EQ(loaded.num_rules(), 3u);
+  EXPECT_EQ(loaded.top_k(1, 1), (std::vector<HostId>{100}));
+}
+
+TEST(RuleSetSerialization, EmptyRoundTrips) {
+  std::stringstream buffer;
+  RuleSet{}.save(buffer);
+  EXPECT_TRUE(RuleSet::load(buffer).empty());
+}
+
+TEST(RuleSetSerialization, SaveIsDeterministicallyOrdered) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 9, 300, 2);
+  add_pairs(pairs, 1, 100, 2);
+  const RuleSet rules = RuleSet::build(pairs, 1);
+  std::stringstream a;
+  std::stringstream b;
+  rules.save(a);
+  rules.save(b);
+  EXPECT_EQ(a.str(), b.str());
+  // Antecedents ascending in the text.
+  EXPECT_LT(a.str().find("1,100"), a.str().find("9,300"));
+}
+
+TEST(RuleSetSerialization, RejectsMissingHeader) {
+  std::stringstream buffer("1,2,3\n");
+  EXPECT_THROW((void)RuleSet::load(buffer), std::runtime_error);
+}
+
+TEST(RuleSetSerialization, RejectsMalformedRows) {
+  std::stringstream buffer("antecedent,consequent,support\n1,abc,3\n");
+  EXPECT_THROW((void)RuleSet::load(buffer), std::runtime_error);
+  std::stringstream missing("antecedent,consequent,support\n1,2\n");
+  EXPECT_THROW((void)RuleSet::load(missing), std::runtime_error);
+}
+
+// Property sweep: pruning threshold monotonically shrinks the rule set.
+class PruneSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PruneSweep, HigherThresholdNeverAddsRules) {
+  std::vector<QueryReplyPair> pairs;
+  util::Rng rng(5);
+  for (int i = 0; i < 2'000; ++i) {
+    add_pairs(pairs, static_cast<HostId>(rng.below(20)),
+              static_cast<HostId>(100 + rng.below(10)), 1);
+  }
+  const std::uint32_t threshold = GetParam();
+  const RuleSet loose = RuleSet::build(pairs, threshold);
+  const RuleSet strict = RuleSet::build(pairs, threshold + 5);
+  EXPECT_LE(strict.num_rules(), loose.num_rules());
+  // Every strict rule exists in the loose set.
+  for (const auto& [antecedent, consequents] : strict.rules()) {
+    for (const auto& consequent : consequents) {
+      EXPECT_TRUE(loose.matches(antecedent, consequent.neighbor));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PruneSweep,
+                         ::testing::Values(1, 2, 5, 10, 20));
+
+}  // namespace
+}  // namespace aar::core

@@ -1,0 +1,112 @@
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace aar::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.str();
+  std::istringstream is(out);
+  std::string header, underline, row1, row2;
+  std::getline(is, header);
+  std::getline(is, underline);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(header.size(), row2.size());
+  EXPECT_NE(header.find("name"), std::string::npos);
+  EXPECT_NE(underline.find("----"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.str().find("only-one"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, IntegerThousandsSeparators) {
+  EXPECT_EQ(Table::integer(0), "0");
+  EXPECT_EQ(Table::integer(999), "999");
+  EXPECT_EQ(Table::integer(1000), "1,000");
+  EXPECT_EQ(Table::integer(10514090), "10,514,090");
+  EXPECT_EQ(Table::integer(-1234567), "-1,234,567");
+}
+
+TEST(Table, PctFormats) {
+  EXPECT_EQ(Table::pct(0.793, 1), "79.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "aar_csv_test.csv")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string slurp() {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    csv.header({"block", "coverage"});
+    csv.row({0.0, 0.8});
+    csv.row({1.0, 0.75});
+  }
+  const std::string content = slurp();
+  EXPECT_NE(content.find("block,coverage"), std::string::npos);
+  EXPECT_NE(content.find("0,0.8"), std::string::npos);
+  EXPECT_NE(content.find("1,0.75"), std::string::npos);
+}
+
+TEST_F(CsvTest, EscapesSpecialCells) {
+  {
+    CsvWriter csv(path_);
+    std::vector<std::string> cells{"a,b", "say \"hi\"", "plain"};
+    csv.row(std::span<const std::string>(cells));
+  }
+  const std::string content = slurp();
+  EXPECT_NE(content.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(content.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(content.find("plain"), std::string::npos);
+}
+
+TEST_F(CsvTest, SeriesCsvShapes) {
+  const std::vector<std::string> names{"alpha", "rho"};
+  const std::vector<std::vector<double>> cols{{0.8, 0.7}, {0.6, 0.5, 0.4}};
+  write_series_csv(path_, names, cols);
+  const std::string content = slurp();
+  EXPECT_NE(content.find("index,alpha,rho"), std::string::npos);
+  // Three rows: the longest column wins; short columns pad with 0.
+  EXPECT_NE(content.find("2,0,0.4"), std::string::npos);
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/proc/definitely/not/writable.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aar::util

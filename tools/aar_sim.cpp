@@ -1,0 +1,205 @@
+// aar_sim — command-line front end to the trace simulator.
+//
+// The modern equivalent of the paper's <500-line PHP simulator: generate
+// synthetic captures, replay pair traces (synthetic or imported CSV) through
+// any rule-set maintenance strategy, and emit per-block series.
+//
+// Usage:
+//   aar_sim generate --pairs N [--seed S] [--block-size B] --out pairs.csv
+//   aar_sim run --strategy <static|sliding|lazy|adaptive|incremental>
+//               [--trace pairs.csv | --blocks N] [--block-size B]
+//               [--min-support T] [--period P] [--history H] [--seed S]
+//               [--csv series.csv]
+//   aar_sim compare [--blocks N] [--block-size B] [--min-support T] [--seed S]
+//
+// Exit status: 0 on success, 2 on usage errors.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "core/trace_simulator.hpp"
+#include "trace/database.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace aar;
+
+struct Options {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long num(const std::string& key, long fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::strtol(it->second.c_str(),
+                                                      nullptr, 10);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.contains(key);
+  }
+};
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  aar_sim generate --pairs N [--seed S] [--block-size B] --out F\n"
+         "  aar_sim run --strategy NAME [--trace F | --blocks N]\n"
+         "              [--block-size B] [--min-support T] [--period P]\n"
+         "              [--history H] [--seed S] [--csv F]\n"
+         "  aar_sim compare [--blocks N] [--block-size B] [--min-support T]"
+         " [--seed S]\n"
+         "strategies: static sliding lazy adaptive incremental streaming\n";
+  return 2;
+}
+
+Options parse(int argc, char** argv) {
+  Options options;
+  if (argc >= 2) options.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      options.command.clear();  // force usage error
+      break;
+    }
+    options.flags[key.substr(2)] = argv[i + 1];
+  }
+  return options;
+}
+
+std::vector<trace::QueryReplyPair> load_or_generate(const Options& options) {
+  if (options.has("trace")) {
+    const std::string path = options.get("trace", "");
+    std::cout << "loading pair trace from " << path << "\n";
+    return trace::read_pairs_csv(path);
+  }
+  trace::TraceConfig config;
+  config.seed = static_cast<std::uint64_t>(options.num("seed", 42));
+  config.block_size =
+      static_cast<std::uint32_t>(options.num("block-size", 10'000));
+  const auto blocks = static_cast<std::size_t>(options.num("blocks", 80));
+  trace::TraceGenerator generator(config);
+  return generator.generate_pairs((blocks + 1) * config.block_size);
+}
+
+std::unique_ptr<core::Strategy> make_strategy(const std::string& name,
+                                              const Options& options) {
+  const auto min_support =
+      static_cast<std::uint32_t>(options.num("min-support", 10));
+  if (name == "static") return std::make_unique<core::StaticRuleset>(min_support);
+  if (name == "sliding") return std::make_unique<core::SlidingWindow>(min_support);
+  if (name == "lazy") {
+    return std::make_unique<core::LazySlidingWindow>(
+        min_support, static_cast<std::uint32_t>(options.num("period", 10)));
+  }
+  if (name == "adaptive") {
+    return std::make_unique<core::AdaptiveSlidingWindow>(
+        min_support, static_cast<std::size_t>(options.num("history", 10)));
+  }
+  if (name == "incremental") {
+    return std::make_unique<core::IncrementalRuleset>(min_support);
+  }
+  if (name == "streaming") {
+    return std::make_unique<core::StreamingRuleset>(min_support);
+  }
+  return nullptr;
+}
+
+int cmd_generate(const Options& options) {
+  if (!options.has("pairs") || !options.has("out")) return usage();
+  trace::TraceConfig config;
+  config.seed = static_cast<std::uint64_t>(options.num("seed", 42));
+  config.block_size =
+      static_cast<std::uint32_t>(options.num("block-size", 10'000));
+  const auto pair_target = static_cast<std::size_t>(options.num("pairs", 0));
+  trace::TraceGenerator generator(config);
+  trace::Database db;
+  db.import(generator, pair_target);
+  db.join();
+  const std::string out = options.get("out", "pairs.csv");
+  trace::write_pairs_csv(out, db);
+  std::cout << "wrote " << db.pairs().size() << " pairs ("
+            << generator.queries_generated() << " queries, "
+            << generator.replies_generated() << " replies) to " << out << "\n";
+  return 0;
+}
+
+int cmd_run(const Options& options) {
+  const std::string name = options.get("strategy", "");
+  std::unique_ptr<core::Strategy> strategy = make_strategy(name, options);
+  if (strategy == nullptr) return usage();
+  const auto pairs = load_or_generate(options);
+  const auto block_size =
+      static_cast<std::size_t>(options.num("block-size", 10'000));
+  if (pairs.size() < 2 * block_size) {
+    std::cerr << "trace too short: " << pairs.size() << " pairs for block size "
+              << block_size << "\n";
+    return 2;
+  }
+  const core::SimulationResult result =
+      core::run_trace_simulation(*strategy, pairs, block_size);
+  std::cout << result.to_string() << "\n";
+  util::Table table({"block", "coverage", "success"});
+  const std::size_t stride = std::max<std::size_t>(1, result.coverage.size() / 20);
+  for (std::size_t b = 0; b < result.coverage.size(); b += stride) {
+    table.row({std::to_string(b + 1), util::Table::num(result.coverage[b], 3),
+               util::Table::num(result.success[b], 3)});
+  }
+  table.print(std::cout);
+  if (options.has("csv")) {
+    const std::vector<std::string> names{"coverage", "success"};
+    const std::vector<std::vector<double>> columns{
+        {result.coverage.values().begin(), result.coverage.values().end()},
+        {result.success.values().begin(), result.success.values().end()}};
+    util::write_series_csv(options.get("csv", ""), names, columns);
+    std::cout << "series written to " << options.get("csv", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Options& options) {
+  const auto pairs = load_or_generate(options);
+  const auto block_size =
+      static_cast<std::size_t>(options.num("block-size", 10'000));
+  util::Table table({"strategy", "avg coverage", "avg success", "rule sets",
+                     "blocks/regen"});
+  for (const std::string name : {"static", "sliding", "lazy", "adaptive",
+                                 "incremental", "streaming"}) {
+    std::unique_ptr<core::Strategy> strategy = make_strategy(name, options);
+    const core::SimulationResult result =
+        core::run_trace_simulation(*strategy, pairs, block_size);
+    table.row({result.strategy, util::Table::num(result.avg_coverage(), 3),
+               util::Table::num(result.avg_success(), 3),
+               std::to_string(result.rulesets_generated),
+               util::Table::num(result.blocks_per_generation(), 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  try {
+    if (options.command == "generate") return cmd_generate(options);
+    if (options.command == "run") return cmd_run(options);
+    if (options.command == "compare") return cmd_compare(options);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

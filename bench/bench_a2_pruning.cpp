@@ -21,7 +21,7 @@ int main() {
   const std::vector<std::uint32_t> thresholds{1, 2, 5, 10, 20, 50, 100};
   util::Table table({"threshold", "avg rules", "avg antecedents",
                      "avg coverage", "avg success"});
-  util::CsvWriter csv("out/a2_pruning.csv");
+  util::CsvWriter csv(aar::bench::out_path("a2_pruning.csv"));
   csv.header({"threshold", "rules", "antecedents", "coverage", "success"});
 
   std::vector<double> coverages;

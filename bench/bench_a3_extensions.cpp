@@ -76,7 +76,7 @@ int main() {
   dim_table.print(std::cout);
 
   {
-    util::CsvWriter csv("out/a3_extensions.csv");
+    util::CsvWriter csv(aar::bench::out_path("a3_extensions.csv"));
     csv.header({"min_confidence", "rules", "success"});
     for (std::size_t i = 0; i < confidences.size(); ++i) {
       csv.row({confidences[i], conf_rules[i], conf_success[i]});

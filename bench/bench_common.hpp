@@ -8,6 +8,7 @@
 // the tolerance under which the reproduction is judged.
 
 #include <cmath>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -58,14 +59,22 @@ inline std::vector<trace::QueryReplyPair> standard_trace(
   return generator.generate_pairs((blocks + 1) * block_size);
 }
 
-/// Dump a result's coverage/success series to out/<id>.csv.
+/// Path under out/ for a bench artifact, creating out/ if needed so benches
+/// work from a fresh checkout or any build dir.
+inline std::string out_path(const std::string& file) {
+  std::filesystem::create_directories("out");
+  return "out/" + file;
+}
+
+/// Dump a result's coverage/success series to out/<id>.csv, creating out/
+/// if needed so benches work from a fresh checkout or any build dir.
 inline void write_result_csv(const std::string& id,
                              const core::SimulationResult& result) {
   const std::vector<std::string> names{"coverage", "success"};
   const std::vector<std::vector<double>> columns{
       {result.coverage.values().begin(), result.coverage.values().end()},
       {result.success.values().begin(), result.success.values().end()}};
-  const std::string path = "out/" + id + ".csv";
+  const std::string path = out_path(id + ".csv");
   util::write_series_csv(path, names, columns);
   std::cout << "series written to " << path << "\n";
 }

@@ -40,7 +40,7 @@ int main() {
                              result.coverage.values().end());
   }
   by_size.print(std::cout);
-  util::write_series_csv("out/f2_blocksize.csv", csv_names, csv_columns);
+  util::write_series_csv(aar::bench::out_path("f2_blocksize.csv"), csv_names, csv_columns);
   std::cout << "series written to out/f2_blocksize.csv\n";
 
   // Threshold sweep at the default block size.

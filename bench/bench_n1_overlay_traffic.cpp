@@ -98,7 +98,7 @@ int main() {
   table.print(std::cout);
 
   {
-    util::CsvWriter csv("out/n1_overlay_traffic.csv");
+    util::CsvWriter csv(aar::bench::out_path("n1_overlay_traffic.csv"));
     csv.header({"policy", "success_rate", "total_messages", "query_messages",
                 "hops", "fallback_rate", "rule_routed_rate"});
     for (const TrafficStats& s : results) {

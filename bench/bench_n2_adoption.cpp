@@ -53,7 +53,7 @@ int main() {
   table.print(std::cout);
 
   {
-    util::CsvWriter csv("out/n2_adoption.csv");
+    util::CsvWriter csv(aar::bench::out_path("n2_adoption.csv"));
     csv.header({"adoption_fraction", "success_rate", "total_messages"});
     for (std::size_t i = 0; i < fractions.size(); ++i) {
       csv.row({fractions[i], results[i].success_rate(),

@@ -97,7 +97,7 @@ int main() {
 
   // Scaling: super-peer flood traffic grows with the super-peer tier.
   util::Table scaling({"leaves", "super peers", "msgs/query"});
-  util::CsvWriter csv("out/n4_superpeer.csv");
+  util::CsvWriter csv(aar::bench::out_path("n4_superpeer.csv"));
   csv.header({"leaves", "super_peers", "messages"});
   std::vector<double> scaled_messages;
   for (const std::size_t scale : {1, 2, 4, 8}) {

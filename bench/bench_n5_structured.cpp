@@ -92,7 +92,7 @@ int main() {
   // 3. Mass simultaneous failure, before any stabilization.
   util::Table failure({"failed fraction", "Chord lookup failures",
                        "flood giant component"});
-  util::CsvWriter csv("out/n5_structured.csv");
+  util::CsvWriter csv(aar::bench::out_path("n5_structured.csv"));
   csv.header({"failed_fraction", "chord_failure_rate", "flood_reachable"});
   std::vector<double> chord_failure_rates;
   std::vector<double> flood_reachable_fractions;

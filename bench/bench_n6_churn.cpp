@@ -114,14 +114,14 @@ int main() {
   table_out.print(std::cout);
 
   {
-    util::CsvWriter csv("out/n6_churn.csv");
+    util::CsvWriter csv(aar::bench::out_path("n6_churn.csv"));
     const std::vector<std::string> names{"assoc_success", "assoc_messages",
                                          "ri_messages", "flood_success",
                                          "flood_messages"};
     const std::vector<std::vector<double>> cols{assoc.success, assoc.messages,
                                                 ri.messages, flooding.success,
                                                 flooding.messages};
-    util::write_series_csv("out/n6_churn.csv", names, cols);
+    util::write_series_csv(aar::bench::out_path("n6_churn.csv"), names, cols);
     std::cout << "series written to out/n6_churn.csv\n";
   }
 

@@ -1,0 +1,135 @@
+// P2 — aar::store binary trace store vs CSV (ISSUE 1 tentpole).
+//
+// The paper's pipeline ran off a 2.6 GB MySQL capture; our CSV substitute
+// pays parse cost up front and needs the whole trace in RAM.  This bench
+// measures what the aartr columnar store buys on the full 365-block
+// calibrated trace (the paper's 7-day / 3.65 M-pair replay):
+//
+//   * encode/decode throughput (pairs/sec) vs CSV write/parse,
+//   * on-disk footprint (bytes/pair) vs CSV,
+//   * end-to-end 365-block Sliding Window replay streamed from disk
+//     (StoreBlockSource, bounded memory) vs in-memory, with identical
+//     per-block series required.
+//
+// Acceptance bands (ISSUE 1): decode >= 5x CSV parse, size <= 0.5x CSV,
+// streamed replay bit-identical to in-memory.
+
+#include <chrono>
+#include <filesystem>
+
+#include "bench_common.hpp"
+#include "core/strategy.hpp"
+#include "store/block_source.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "trace/database.hpp"
+#include "trace/io.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace aar;
+  bench::print_header("P2", "aartr binary trace store vs CSV (365-block trace)");
+
+  constexpr std::size_t kBlocks = 365;
+  constexpr std::uint32_t kBlockSize = 10'000;
+  const auto pairs = bench::standard_trace(kBlocks, 42, kBlockSize);
+  std::cout << "trace: " << pairs.size() << " pairs ("
+            << kBlocks << "+1 blocks of " << kBlockSize << ")\n";
+
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string csv_path = (tmp / "aar_p2_pairs.csv").string();
+  const std::string aartr_path = (tmp / "aar_p2_pairs.aartr").string();
+  const double n = static_cast<double>(pairs.size());
+
+  // --- CSV baseline --------------------------------------------------------
+  trace::Database csv_db;
+  csv_db.set_pairs(pairs);
+  auto start = std::chrono::steady_clock::now();
+  trace::write_pairs_csv(csv_path, csv_db);
+  const double csv_write_s = seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const auto csv_pairs = trace::read_pairs_csv(csv_path);
+  const double csv_parse_s = seconds_since(start);
+
+  // --- aartr ---------------------------------------------------------------
+  start = std::chrono::steady_clock::now();
+  store::write_pairs_file(aartr_path, pairs);
+  const double encode_s = seconds_since(start);
+
+  const store::Reader reader(aartr_path);
+  start = std::chrono::steady_clock::now();
+  const auto decoded = reader.read_all_pairs();
+  const double decode_s = seconds_since(start);
+
+  bool identical = decoded.size() == pairs.size() &&
+                   csv_pairs.size() == pairs.size();
+  for (std::size_t i = 0; identical && i < pairs.size(); ++i) {
+    identical = decoded[i] == pairs[i];
+  }
+
+  const auto csv_bytes = std::filesystem::file_size(csv_path);
+  const auto aartr_bytes = std::filesystem::file_size(aartr_path);
+
+  // --- end-to-end 365-block replay: disk stream vs in-memory ---------------
+  core::SlidingWindow memory_strategy(10);
+  start = std::chrono::steady_clock::now();
+  const core::SimulationResult in_memory =
+      core::run_trace_simulation(memory_strategy, pairs, kBlockSize);
+  const double memory_replay_s = seconds_since(start);
+
+  core::SlidingWindow disk_strategy(10);
+  store::StoreBlockSource source(reader);
+  start = std::chrono::steady_clock::now();
+  const core::SimulationResult streamed =
+      core::run_trace_simulation(disk_strategy, source, kBlockSize);
+  const double disk_replay_s = seconds_since(start);
+
+  bool same_series = in_memory.blocks_tested == streamed.blocks_tested &&
+                     in_memory.rulesets_generated == streamed.rulesets_generated;
+  for (std::size_t b = 0; same_series && b < in_memory.coverage.size(); ++b) {
+    same_series = in_memory.coverage[b] == streamed.coverage[b] &&
+                  in_memory.success[b] == streamed.success[b];
+  }
+
+  util::Table table({"path", "seconds", "pairs/sec", "bytes/pair"});
+  const auto row = [&](const char* label, double secs, std::uintmax_t bytes) {
+    table.row({label, util::Table::num(secs, 3),
+               util::Table::num(secs > 0 ? n / secs : 0.0, 0),
+               util::Table::num(static_cast<double>(bytes) / n, 2)});
+  };
+  row("csv write", csv_write_s, csv_bytes);
+  row("csv parse", csv_parse_s, csv_bytes);
+  row("aartr encode", encode_s, aartr_bytes);
+  row("aartr decode", decode_s, aartr_bytes);
+  table.print(std::cout);
+  std::cout << "replay (sliding, " << kBlocks << " blocks): in-memory "
+            << util::Table::num(memory_replay_s, 2) << "s, streamed from disk "
+            << util::Table::num(disk_replay_s, 2) << "s\n";
+
+  const double speedup = decode_s > 0 ? csv_parse_s / decode_s : 0.0;
+  const double size_ratio =
+      static_cast<double>(aartr_bytes) / static_cast<double>(csv_bytes);
+  const std::vector<bench::PaperRow> rows{
+      {"aartr decode speedup over CSV parse", ">= 5x (ISSUE 1)", speedup,
+       speedup >= 5.0},
+      {"aartr size / CSV size", "<= 0.5 (ISSUE 1)", size_ratio,
+       size_ratio <= 0.5},
+      {"decode round-trip identical", "1 (lossless)", identical ? 1.0 : 0.0,
+       identical},
+      {"streamed replay == in-memory series", "1 (exact)",
+       same_series ? 1.0 : 0.0, same_series},
+  };
+
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(aartr_path);
+  return bench::print_comparison(rows);
+}

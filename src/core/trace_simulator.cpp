@@ -20,22 +20,36 @@ SimulationResult run_trace_simulation(Strategy& strategy,
                                       std::span<const trace::QueryReplyPair> pairs,
                                       std::size_t block_size) {
   assert(block_size > 0);
-  const std::size_t blocks = pairs.size() / block_size;
-  assert(blocks >= 2 && "need a bootstrap block plus at least one test block");
+  assert(pairs.size() / block_size >= 2 &&
+         "need a bootstrap block plus at least one test block");
+  trace::SpanBlockSource source(pairs);
+  return run_trace_simulation(strategy, source, block_size);
+}
+
+SimulationResult run_trace_simulation(Strategy& strategy,
+                                      trace::BlockSource& source,
+                                      std::size_t block_size) {
+  assert(block_size > 0);
 
   SimulationResult result;
   result.strategy = strategy.name();
   result.block_size = block_size;
   result.min_support = strategy.min_support();
 
-  strategy.bootstrap(pairs.subspan(0, block_size));
-  for (std::size_t b = 1; b < blocks; ++b) {
-    const BlockMeasures measures =
-        strategy.test_block(pairs.subspan(b * block_size, block_size));
+  const std::span<const trace::QueryReplyPair> first =
+      source.next_block(block_size);
+  assert(!first.empty() && "source yielded no bootstrap block");
+  strategy.bootstrap(first);
+  while (true) {
+    const std::span<const trace::QueryReplyPair> block =
+        source.next_block(block_size);
+    if (block.empty()) break;
+    const BlockMeasures measures = strategy.test_block(block);
     result.coverage.add(measures.coverage());
     result.success.add(measures.success());
     ++result.blocks_tested;
   }
+  assert(result.blocks_tested >= 1 && "source yielded no test block");
   result.rulesets_generated = strategy.rulesets_generated();
   return result;
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/strategy.hpp"
+#include "trace/block_source.hpp"
 #include "trace/record.hpp"
 #include "util/stats.hpp"
 
@@ -48,5 +49,15 @@ struct SimulationResult {
 [[nodiscard]] SimulationResult run_trace_simulation(
     Strategy& strategy, std::span<const trace::QueryReplyPair> pairs,
     std::size_t block_size);
+
+/// Out-of-core variant: pull blocks from `source` until it is exhausted.
+/// Only the current block need be resident, so arbitrarily long traces
+/// (e.g. a store::StoreBlockSource over an aartr file) replay in bounded
+/// memory.  The source must yield at least two blocks (bootstrap + one
+/// test block).  Produces exactly the per-block series the in-memory
+/// overload produces for the same pair stream.
+[[nodiscard]] SimulationResult run_trace_simulation(Strategy& strategy,
+                                                    trace::BlockSource& source,
+                                                    std::size_t block_size);
 
 }  // namespace aar::core

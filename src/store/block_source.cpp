@@ -1,0 +1,76 @@
+#include "store/block_source.hpp"
+
+namespace aar::store {
+
+StoreBlockSource::StoreBlockSource(const Reader& reader) : reader_(reader) {
+  if (reader_.kind() != StreamKind::pairs) {
+    throw std::runtime_error("aartr: " + reader_.path() +
+                             ": streaming replay needs a pairs stream, got " +
+                             std::string(to_string(reader_.kind())));
+  }
+  schedule_prefetch();
+}
+
+StoreBlockSource::~StoreBlockSource() {
+  // pool_ is the last member, so its destructor joins the worker before the
+  // slot state it writes to is destroyed.
+}
+
+void StoreBlockSource::schedule_prefetch() {
+  if (next_chunk_ >= reader_.num_chunks()) return;
+  const std::size_t chunk = next_chunk_++;
+  pool_.submit([this, chunk] {
+    std::vector<trace::QueryReplyPair> decoded;
+    std::exception_ptr error;
+    try {
+      decoded = reader_.read_pairs_chunk(chunk);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      slot_ = std::move(decoded);
+      slot_error_ = error;
+      slot_ready_ = true;
+    }
+    slot_filled_.notify_one();
+  });
+}
+
+std::vector<trace::QueryReplyPair> StoreBlockSource::take_prefetched() {
+  std::vector<trace::QueryReplyPair> chunk;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_filled_.wait(lock, [this] { return slot_ready_; });
+    if (slot_error_ != nullptr) {
+      const std::exception_ptr error = slot_error_;
+      slot_error_ = nullptr;
+      slot_ready_ = false;
+      std::rethrow_exception(error);
+    }
+    chunk = std::move(slot_);
+    slot_.clear();
+    slot_ready_ = false;
+  }
+  ++chunks_taken_;
+  schedule_prefetch();  // overlap the next decode with consumption
+  return chunk;
+}
+
+std::span<const trace::QueryReplyPair> StoreBlockSource::next_block(
+    std::size_t block_size) {
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  while (buffer_.size() < block_size && chunks_taken_ < reader_.num_chunks()) {
+    const auto chunk = take_prefetched();
+    buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  }
+  if (buffer_.size() < block_size) return {};
+  consumed_ = block_size;
+  return std::span<const trace::QueryReplyPair>(buffer_.data(), block_size);
+}
+
+}  // namespace aar::store

@@ -1,0 +1,56 @@
+#pragma once
+// Streaming BlockSource over an aartr pairs file with background prefetch.
+//
+// Chunks are decoded one ahead of consumption on a single util::ThreadPool
+// worker, so chunk decode (varint + delta reconstruction) overlaps strategy
+// evaluation in the simulator.  Memory is bounded by the consumption buffer
+// (at most one block plus one chunk of slack) and the single in-flight
+// prefetched chunk — replaying a multi-gigabyte trace needs megabytes of
+// RAM, not the whole table.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "store/reader.hpp"
+#include "trace/block_source.hpp"
+#include "trace/record.hpp"
+#include "util/parallel.hpp"
+
+namespace aar::store {
+
+class StoreBlockSource final : public trace::BlockSource {
+ public:
+  /// `reader` must outlive this source and carry a pairs stream (throws
+  /// std::runtime_error otherwise).  Prefetch of chunk 0 starts immediately.
+  explicit StoreBlockSource(const Reader& reader);
+  ~StoreBlockSource() override;
+
+  /// Decode errors (CRC mismatch, truncation) surface here, on the call
+  /// that needed the corrupt chunk.
+  [[nodiscard]] std::span<const trace::QueryReplyPair> next_block(
+      std::size_t block_size) override;
+
+ private:
+  void schedule_prefetch();
+  [[nodiscard]] std::vector<trace::QueryReplyPair> take_prefetched();
+
+  const Reader& reader_;
+  std::size_t next_chunk_ = 0;    ///< next chunk index to schedule
+  std::size_t chunks_taken_ = 0;  ///< chunks consumed from the slot
+
+  std::mutex mutex_;
+  std::condition_variable slot_filled_;
+  std::vector<trace::QueryReplyPair> slot_;
+  std::exception_ptr slot_error_;
+  bool slot_ready_ = false;
+
+  std::vector<trace::QueryReplyPair> buffer_;
+  std::size_t consumed_ = 0;
+
+  util::ThreadPool pool_{1};  ///< last member: joins before slot state dies
+};
+
+}  // namespace aar::store

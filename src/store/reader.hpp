@@ -1,0 +1,73 @@
+#pragma once
+// aartr file reader: header/footer validation, O(1) chunk seek, full
+// materialization, and per-chunk decode for streaming replay.
+//
+// The constructor reads and validates the fixed header and the trailer +
+// footer chunk index (magic, version, CRCs, offset sanity), so a truncated
+// or corrupted container fails loudly before any data is consumed.  Chunk
+// payload CRCs are checked on each decode.  Reads open their own file
+// handle, so one Reader may serve concurrent decodes (the prefetching
+// StoreBlockSource decodes chunk i+1 on a pool thread while the simulator
+// consumes chunk i).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "trace/database.hpp"
+#include "trace/record.hpp"
+
+namespace aar::store {
+
+class Reader {
+ public:
+  /// Open and validate `path`.  Throws std::runtime_error on missing file,
+  /// bad magic/version, or truncated/corrupt header, footer, or trailer.
+  explicit Reader(const std::string& path);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] StreamKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t num_records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t num_chunks() const noexcept { return index_.size(); }
+  /// Chunk capacity the file was written with (last chunk may be shorter).
+  [[nodiscard]] std::uint32_t chunk_capacity() const noexcept {
+    return chunk_records_;
+  }
+  [[nodiscard]] std::uint32_t chunk_records(std::size_t chunk) const;
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept { return file_bytes_; }
+
+  /// Decode one chunk.  The typed accessor must match kind(); a mismatch
+  /// throws std::runtime_error, as does a payload CRC failure.
+  [[nodiscard]] std::vector<trace::QueryReplyPair> read_pairs_chunk(
+      std::size_t chunk) const;
+  [[nodiscard]] std::vector<trace::QueryRecord> read_queries_chunk(
+      std::size_t chunk) const;
+  [[nodiscard]] std::vector<trace::ReplyRecord> read_replies_chunk(
+      std::size_t chunk) const;
+
+  /// Decode every chunk of a pairs file into one table.
+  [[nodiscard]] std::vector<trace::QueryReplyPair> read_all_pairs() const;
+
+  /// Full materialization into the relational pipeline: query streams append
+  /// via add_query, reply streams via add_reply, pair streams install the
+  /// pre-joined pair table directly (Database::set_pairs).
+  void materialize(trace::Database& db) const;
+
+ private:
+  void require_kind(StreamKind kind) const;
+  [[nodiscard]] std::string chunk_payload(std::size_t chunk) const;
+
+  std::string path_;
+  StreamKind kind_ = StreamKind::pairs;
+  std::uint64_t records_ = 0;
+  std::uint32_t chunk_records_ = 0;
+  std::uint64_t file_bytes_ = 0;
+  struct ChunkEntry {
+    std::uint64_t offset = 0;
+    std::uint32_t records = 0;
+  };
+  std::vector<ChunkEntry> index_;
+};
+
+}  // namespace aar::store

@@ -1,0 +1,86 @@
+#pragma once
+// Chunked columnar writer for aartr trace files.
+//
+// Records accumulate in memory until a chunk fills (`chunk_records`), then
+// the chunk is encoded column-by-column — timestamps and GUIDs as zigzag
+// varints of the delta from the previous record (both restart per chunk so
+// chunks decode independently), host/file ids as plain varints — framed
+// with its CRC32, and appended to the file.  close() flushes the tail
+// chunk, writes the footer chunk index + trailer, and patches the record
+// count into the header.  Memory is bounded by one chunk regardless of
+// trace length.
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "store/format.hpp"
+#include "trace/record.hpp"
+
+namespace aar::store {
+
+class Writer {
+ public:
+  /// Creates/truncates `path`.  Throws std::runtime_error on I/O failure.
+  Writer(const std::string& path, StreamKind kind,
+         std::uint32_t chunk_records = kDefaultChunkRecords);
+
+  /// Flushes and closes via close() if the caller has not; errors during
+  /// this implicit close are swallowed (call close() to observe them).
+  ~Writer();
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Append one record.  The overload must match the stream kind the writer
+  /// was opened with; a mismatch throws std::logic_error.
+  void add(const trace::QueryRecord& record);
+  void add(const trace::ReplyRecord& record);
+  void add(const trace::QueryReplyPair& record);
+
+  /// Flush the tail chunk, write footer + trailer, patch the header record
+  /// count, and close the file.  Idempotent.  Throws on I/O failure.
+  void close();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_;
+  }
+
+ private:
+  void require_kind(StreamKind kind) const;
+  void flush_chunk();
+  void write_frame(const std::string& payload, std::uint32_t record_count);
+
+  std::string path_;
+  StreamKind kind_;
+  std::uint32_t chunk_records_;
+  std::ofstream out_;
+
+  std::vector<trace::QueryRecord> query_buffer_;
+  std::vector<trace::ReplyRecord> reply_buffer_;
+  std::vector<trace::QueryReplyPair> pair_buffer_;
+
+  struct ChunkEntry {
+    std::uint64_t offset = 0;   ///< file offset of the chunk frame
+    std::uint32_t records = 0;  ///< records in the chunk
+  };
+  std::vector<ChunkEntry> index_;
+  std::uint64_t records_ = 0;
+  std::uint64_t write_offset_ = 0;
+  bool closed_ = false;
+};
+
+/// One-shot conveniences for whole in-memory tables.
+void write_pairs_file(const std::string& path,
+                      std::span<const trace::QueryReplyPair> pairs,
+                      std::uint32_t chunk_records = kDefaultChunkRecords);
+void write_queries_file(const std::string& path,
+                        std::span<const trace::QueryRecord> queries,
+                        std::uint32_t chunk_records = kDefaultChunkRecords);
+void write_replies_file(const std::string& path,
+                        std::span<const trace::ReplyRecord> replies,
+                        std::uint32_t chunk_records = kDefaultChunkRecords);
+
+}  // namespace aar::store

@@ -106,6 +106,17 @@ std::uint64_t Database::join() {
   return pairs_.size();
 }
 
+void Database::set_pairs(std::vector<QueryReplyPair> pairs) {
+  queries_.clear();
+  replies_.clear();
+  pairs_ = std::move(pairs);
+  raw_query_count_ = 0;
+  duplicate_guid_count_ = 0;
+  orphan_reply_count_ = 0;
+  deduplicated_ = true;
+  joined_ = true;
+}
+
 std::size_t Database::num_blocks(std::size_t block_size) const noexcept {
   assert(block_size > 0);
   return pairs_.size() / block_size;

@@ -53,6 +53,11 @@ class Database {
   /// Returns the number of pairs produced.
   std::uint64_t join();
 
+  /// Install an externally joined pair table (e.g. a pairs-kind aartr file),
+  /// replacing any pipeline state.  The table is taken as already
+  /// deduplicated and reply-time ordered; join() becomes a no-op.
+  void set_pairs(std::vector<QueryReplyPair> pairs);
+
   [[nodiscard]] std::span<const QueryRecord> queries() const noexcept {
     return queries_;
   }

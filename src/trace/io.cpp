@@ -50,12 +50,19 @@ T parse_number(std::string_view field, const std::string& path,
   return value;
 }
 
+/// Drop the '\r' a CRLF-terminated line leaves behind after getline.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 std::ifstream open_with_header(const std::string& path,
                                const std::string& expected_header) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::string header;
-  if (!std::getline(in, header) || header != expected_header) {
+  const bool read = static_cast<bool>(std::getline(in, header));
+  strip_cr(header);
+  if (!read || header != expected_header) {
     throw std::runtime_error(path + ": expected header '" + expected_header +
                              "', got '" + header + "'");
   }
@@ -116,6 +123,7 @@ std::size_t read_queries_csv(const std::string& path, Database& db) {
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    strip_cr(line);
     if (line.empty()) continue;
     const auto fields = split(line);
     if (fields.size() != 4) {
@@ -140,6 +148,7 @@ std::size_t read_replies_csv(const std::string& path, Database& db) {
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    strip_cr(line);
     if (line.empty()) continue;
     const auto fields = split(line);
     if (fields.size() != 5) {
@@ -165,6 +174,7 @@ std::vector<QueryReplyPair> read_pairs_csv(const std::string& path) {
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    strip_cr(line);
     if (line.empty()) continue;
     const auto fields = split(line);
     if (fields.size() != 5) {

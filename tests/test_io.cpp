@@ -15,8 +15,8 @@ class TraceIoTest : public ::testing::Test {
     return (std::filesystem::temp_directory_path() / name).string();
   }
   void TearDown() override {
-    for (const char* name :
-         {"aar_q.csv", "aar_r.csv", "aar_p.csv", "aar_bad.csv"}) {
+    for (const char* name : {"aar_q.csv", "aar_r.csv", "aar_p.csv",
+                             "aar_bad.csv", "aar_crlf.csv"}) {
       std::remove(path(name).c_str());
     }
   }
@@ -90,6 +90,35 @@ TEST_F(TraceIoTest, RoundTrippedPipelineMatchesOriginal) {
   for (std::size_t i = 0; i < loaded.pairs().size(); ++i) {
     EXPECT_EQ(loaded.pairs()[i], db.pairs()[i]);
   }
+}
+
+TEST_F(TraceIoTest, CrlfLineEndingsAreAccepted) {
+  // Regression: files written on Windows (or fetched through tools that
+  // normalize to CRLF) were rejected — the header compare saw the '\r' and
+  // the row parsers fed it into the last field's number parse.
+  std::ofstream out(path("aar_crlf.csv"), std::ios::binary);
+  out << "time,guid,source_host,query\r\n"
+         "1.5,42,7,3\r\n"
+         "2.5,43,8,4\r\n";
+  out.close();
+  Database db;
+  const std::size_t rows = read_queries_csv(path("aar_crlf.csv"), db);
+  ASSERT_EQ(rows, 2u);
+  EXPECT_EQ(db.queries()[0].guid, 42u);
+  EXPECT_EQ(db.queries()[0].query, 3u);  // last field carried the '\r'
+  EXPECT_EQ(db.queries()[1].source_host, 8u);
+  EXPECT_NEAR(db.queries()[1].time, 2.5, 1e-12);
+}
+
+TEST_F(TraceIoTest, CrlfPairsRoundTrip) {
+  std::ofstream out(path("aar_crlf.csv"), std::ios::binary);
+  out << "time,guid,source_host,replying_neighbor,query\r\n"
+         "1.0,100,1,2,9\r\n";
+  out.close();
+  const std::vector<QueryReplyPair> pairs = read_pairs_csv(path("aar_crlf.csv"));
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].query, 9u);
+  EXPECT_EQ(pairs[0].replying_neighbor, 2u);
 }
 
 TEST_F(TraceIoTest, MissingFileThrows) {

@@ -154,6 +154,53 @@ TEST(RuleSetSerialization, RoundTripsExactly) {
   EXPECT_EQ(loaded.top_k(1, 1), (std::vector<HostId>{100}));
 }
 
+TEST(RuleSetSerialization, SupportPrunedSetRoundTrips) {
+  // Persistence must preserve exactly what pruning left, nothing more.
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 6);
+  add_pairs(pairs, 1, 101, 2);   // pruned at min_support 3
+  add_pairs(pairs, 2, 102, 1);   // antecedent pruned entirely
+  const RuleSet original = RuleSet::build(pairs, 3);
+  ASSERT_EQ(original.num_rules(), 1u);
+  std::stringstream buffer;
+  original.save(buffer);
+  const RuleSet loaded = RuleSet::load(buffer);
+  EXPECT_EQ(loaded, original);
+  EXPECT_TRUE(loaded.matches(1, 100));
+  EXPECT_FALSE(loaded.matches(1, 101));
+  EXPECT_FALSE(loaded.covers(2));
+}
+
+TEST(RuleSetSerialization, ConfidencePrunedSetRoundTrips) {
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 8);   // confidence 8/10
+  add_pairs(pairs, 1, 101, 2);   // confidence 2/10 — pruned at 0.5
+  const RuleSet original = RuleSet::build(pairs, 1, /*min_confidence=*/0.5);
+  ASSERT_EQ(original.num_rules(), 1u);
+  std::stringstream buffer;
+  original.save(buffer);
+  const RuleSet loaded = RuleSet::load(buffer);
+  EXPECT_EQ(loaded, original);
+  const auto consequents = loaded.consequents(1);
+  ASSERT_EQ(consequents.size(), 1u);
+  EXPECT_EQ(consequents[0].neighbor, 100u);
+  EXPECT_EQ(consequents[0].support, 8u);
+}
+
+TEST(RuleSetSerialization, PrunedToEmptyRoundTrips) {
+  // A set whose every rule fell to pruning is a valid (empty) persisted set.
+  std::vector<QueryReplyPair> pairs;
+  add_pairs(pairs, 1, 100, 2);
+  const RuleSet original = RuleSet::build(pairs, 100);
+  ASSERT_TRUE(original.empty());
+  std::stringstream buffer;
+  original.save(buffer);
+  const RuleSet loaded = RuleSet::load(buffer);
+  EXPECT_EQ(loaded, original);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(loaded.num_rules(), 0u);
+}
+
 TEST(RuleSetSerialization, EmptyRoundTrips) {
   std::stringstream buffer;
   RuleSet{}.save(buffer);

@@ -1,0 +1,309 @@
+#include "store/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "store/block_source.hpp"
+#include "store/format.hpp"
+#include "store/writer.hpp"
+#include "trace/generator.hpp"
+#include "trace/io.hpp"
+
+namespace aar::store {
+namespace {
+
+using trace::QueryRecord;
+using trace::QueryReplyPair;
+using trace::ReplyRecord;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+  void TearDown() override {
+    for (const char* name : {"aar_s.aartr", "aar_s2.aartr", "aar_s.csv"}) {
+      std::remove(path(name).c_str());
+    }
+  }
+};
+
+std::vector<QueryReplyPair> sample_pairs(std::size_t n, std::uint64_t seed = 7) {
+  trace::TraceConfig config;
+  config.seed = seed;
+  config.block_size = 500;
+  trace::TraceGenerator generator(config);
+  return generator.generate_pairs(n);
+}
+
+TEST(StoreFormat, Crc32MatchesKnownVectors) {
+  // IEEE CRC32 of "123456789" is the classic check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // Incremental chaining equals one-shot.
+  const std::uint32_t part = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, part), 0xcbf43926u);
+}
+
+TEST(StoreFormat, ZigzagRoundTrips) {
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1}, std::int64_t{1234},
+        std::int64_t{-1234}, std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+  EXPECT_EQ(zigzag(0), 0u);
+  EXPECT_EQ(zigzag(-1), 1u);
+  EXPECT_EQ(zigzag(1), 2u);
+}
+
+TEST(StoreFormat, VarintRoundTrips) {
+  std::string buffer;
+  const std::vector<std::uint64_t> values{
+      0, 1, 127, 128, 300, 16'383, 16'384,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) put_varint(buffer, v);
+  ByteReader cursor(reinterpret_cast<const unsigned char*>(buffer.data()),
+                    buffer.size());
+  for (const std::uint64_t v : values) EXPECT_EQ(cursor.varint(), v);
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(StoreFormat, TruncatedVarintThrows) {
+  std::string buffer;
+  buffer.push_back(static_cast<char>(0x80));  // continuation with no tail
+  ByteReader cursor(reinterpret_cast<const unsigned char*>(buffer.data()),
+                    buffer.size());
+  EXPECT_THROW((void)cursor.varint(), std::runtime_error);
+}
+
+class PairRoundTrip : public StoreTest,
+                      public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(PairRoundTrip, PairsSurviveByteIdentically) {
+  const auto pairs = sample_pairs(GetParam());
+  // Small chunks so multi-chunk paths (and the exact-boundary case when the
+  // count is a multiple of 64) are exercised.
+  write_pairs_file(path("aar_s.aartr"), pairs, 64);
+  const Reader reader(path("aar_s.aartr"));
+  EXPECT_EQ(reader.kind(), StreamKind::pairs);
+  EXPECT_EQ(reader.num_records(), pairs.size());
+  const auto loaded = reader.read_all_pairs();
+  ASSERT_EQ(loaded.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(loaded[i], pairs[i]);  // double time bits included: lossless
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PairRoundTrip,
+                         ::testing::Values(0, 1, 5, 63, 64, 65, 1'000));
+
+TEST_F(StoreTest, ChunkSeekMatchesSequentialSlices) {
+  const auto pairs = sample_pairs(500);
+  write_pairs_file(path("aar_s.aartr"), pairs, 128);
+  const Reader reader(path("aar_s.aartr"));
+  ASSERT_EQ(reader.num_chunks(), 4u);  // 128+128+128+116
+  EXPECT_EQ(reader.chunk_records(3), 116u);
+  // Random-access the third chunk without touching the first two.
+  const auto chunk2 = reader.read_pairs_chunk(2);
+  ASSERT_EQ(chunk2.size(), 128u);
+  for (std::size_t i = 0; i < chunk2.size(); ++i) {
+    EXPECT_EQ(chunk2[i], pairs[256 + i]);
+  }
+  EXPECT_THROW((void)reader.read_pairs_chunk(4), std::runtime_error);
+}
+
+TEST_F(StoreTest, QueriesAndRepliesRoundTripAndMaterialize) {
+  trace::TraceConfig config;
+  config.seed = 11;
+  config.block_size = 400;
+  trace::TraceGenerator generator(config);
+  trace::Database db;
+  db.import(generator, 800);
+
+  write_queries_file(path("aar_s.aartr"), db.queries(), 100);
+  {
+    const Reader reader(path("aar_s.aartr"));
+    EXPECT_EQ(reader.kind(), StreamKind::queries);
+    trace::Database loaded;
+    reader.materialize(loaded);
+    ASSERT_EQ(loaded.queries().size(), db.queries().size());
+    for (std::size_t i = 0; i < db.queries().size(); ++i) {
+      EXPECT_EQ(loaded.queries()[i].time, db.queries()[i].time);
+      EXPECT_EQ(loaded.queries()[i].guid, db.queries()[i].guid);
+      EXPECT_EQ(loaded.queries()[i].source_host, db.queries()[i].source_host);
+      EXPECT_EQ(loaded.queries()[i].query, db.queries()[i].query);
+    }
+    // Typed accessors enforce the stream kind.
+    EXPECT_THROW((void)reader.read_pairs_chunk(0), std::runtime_error);
+    EXPECT_THROW((void)reader.read_replies_chunk(0), std::runtime_error);
+  }
+
+  write_replies_file(path("aar_s2.aartr"), db.replies(), 100);
+  const Reader reader(path("aar_s2.aartr"));
+  EXPECT_EQ(reader.kind(), StreamKind::replies);
+  trace::Database loaded;
+  reader.materialize(loaded);
+  ASSERT_EQ(loaded.replies().size(), db.replies().size());
+  for (std::size_t i = 0; i < db.replies().size(); ++i) {
+    EXPECT_EQ(loaded.replies()[i].time, db.replies()[i].time);
+    EXPECT_EQ(loaded.replies()[i].guid, db.replies()[i].guid);
+    EXPECT_EQ(loaded.replies()[i].replying_neighbor,
+              db.replies()[i].replying_neighbor);
+    EXPECT_EQ(loaded.replies()[i].serving_host, db.replies()[i].serving_host);
+    EXPECT_EQ(loaded.replies()[i].file, db.replies()[i].file);
+  }
+}
+
+TEST_F(StoreTest, CsvToAartrToDatabaseIsByteIdentical) {
+  // The acceptance-criteria pipeline: CSV -> aartr -> Database equals the
+  // original pair table exactly.
+  trace::TraceConfig config;
+  config.seed = 13;
+  config.block_size = 500;
+  trace::TraceGenerator generator(config);
+  trace::Database db;
+  db.import(generator, 1'500);
+  db.join();
+
+  trace::write_pairs_csv(path("aar_s.csv"), db);
+  const auto from_csv = trace::read_pairs_csv(path("aar_s.csv"));
+  write_pairs_file(path("aar_s.aartr"), from_csv, 256);
+
+  trace::Database materialized;
+  Reader(path("aar_s.aartr")).materialize(materialized);
+  ASSERT_EQ(materialized.pairs().size(), db.pairs().size());
+  for (std::size_t i = 0; i < db.pairs().size(); ++i) {
+    EXPECT_EQ(materialized.pairs()[i], db.pairs()[i]);
+  }
+  // set_pairs marks the table joined, so the block API works directly.
+  EXPECT_EQ(materialized.num_blocks(500), db.pairs().size() / 500);
+}
+
+TEST_F(StoreTest, MissingFileThrows) {
+  EXPECT_THROW(Reader("/nonexistent/trace.aartr"), std::runtime_error);
+}
+
+TEST_F(StoreTest, NonAartrFileThrows) {
+  std::ofstream out(path("aar_s.aartr"), std::ios::binary);
+  out << "time,guid,source_host,replying_neighbor,query\n1,2,3,4,5\n";
+  out.close();
+  EXPECT_THROW(Reader(path("aar_s.aartr")), std::runtime_error);
+}
+
+TEST_F(StoreTest, TruncatedFileThrows) {
+  const auto pairs = sample_pairs(300);
+  write_pairs_file(path("aar_s.aartr"), pairs, 128);
+  const auto full_size = std::filesystem::file_size(path("aar_s.aartr"));
+  // Chop anywhere — trailer gone, footer unreachable — and opening fails.
+  for (const std::uintmax_t keep :
+       {full_size - 1, full_size / 2, std::uintmax_t{40}, std::uintmax_t{10}}) {
+    std::filesystem::resize_file(path("aar_s.aartr"), keep);
+    EXPECT_THROW(Reader(path("aar_s.aartr")), std::runtime_error)
+        << "file truncated to " << keep << " bytes was accepted";
+  }
+}
+
+TEST_F(StoreTest, CorruptChunkPayloadThrowsOnDecode) {
+  const auto pairs = sample_pairs(300);
+  write_pairs_file(path("aar_s.aartr"), pairs, 128);
+  // Flip one byte inside the second chunk's payload.  Header, footer and
+  // trailer stay intact, so open succeeds but the chunk decode must fail.
+  Reader probe(path("aar_s.aartr"));
+  ASSERT_GE(probe.num_chunks(), 2u);
+  std::fstream file(path("aar_s.aartr"),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  const auto corrupt_at = static_cast<std::streamoff>(kHeaderSize) + 600;
+  file.seekg(corrupt_at);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(corrupt_at);
+  file.write(&byte, 1);
+  file.close();
+
+  const Reader reader(path("aar_s.aartr"));
+  EXPECT_THROW((void)reader.read_all_pairs(), std::runtime_error);
+}
+
+TEST_F(StoreTest, CorruptHeaderCrcThrows) {
+  write_pairs_file(path("aar_s.aartr"), sample_pairs(50), 64);
+  std::fstream file(path("aar_s.aartr"),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(16);  // record-count field: CRC-covered
+  const char byte = 0x5a;
+  file.write(&byte, 1);
+  file.close();
+  EXPECT_THROW(Reader(path("aar_s.aartr")), std::runtime_error);
+}
+
+TEST_F(StoreTest, WriterRejectsKindMismatch) {
+  Writer writer(path("aar_s.aartr"), StreamKind::pairs);
+  EXPECT_THROW(writer.add(QueryRecord{}), std::logic_error);
+  EXPECT_THROW(writer.add(ReplyRecord{}), std::logic_error);
+  writer.add(QueryReplyPair{});
+  writer.close();
+}
+
+TEST_F(StoreTest, SmallerThanCsv) {
+  trace::TraceConfig config;
+  config.seed = 3;
+  config.block_size = 1'000;
+  trace::TraceGenerator generator(config);
+  trace::Database db;
+  db.import(generator, 20'000);
+  db.join();
+  trace::write_pairs_csv(path("aar_s.csv"), db);
+  write_pairs_file(path("aar_s.aartr"), db.pairs());
+  const auto csv_size = std::filesystem::file_size(path("aar_s.csv"));
+  const auto aartr_size = std::filesystem::file_size(path("aar_s.aartr"));
+  EXPECT_LE(aartr_size * 2, csv_size)
+      << "aartr " << aartr_size << " B vs CSV " << csv_size << " B";
+}
+
+TEST_F(StoreTest, BlockSourceYieldsWholeBlocksThenEmpty) {
+  const auto pairs = sample_pairs(1'000);
+  write_pairs_file(path("aar_s.aartr"), pairs, 128);
+  const Reader reader(path("aar_s.aartr"));
+  StoreBlockSource source(reader);
+  // 1000 pairs / 300-pair blocks = 3 whole blocks, 100-pair tail dropped.
+  std::size_t offset = 0;
+  for (int b = 0; b < 3; ++b) {
+    const auto block = source.next_block(300);
+    ASSERT_EQ(block.size(), 300u) << "block " << b;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      EXPECT_EQ(block[i], pairs[offset + i]);
+    }
+    offset += 300;
+  }
+  EXPECT_TRUE(source.next_block(300).empty());
+  EXPECT_TRUE(source.next_block(300).empty());  // stays exhausted
+}
+
+TEST_F(StoreTest, BlockSourcePropagatesDecodeErrors) {
+  write_pairs_file(path("aar_s.aartr"), sample_pairs(400), 128);
+  std::fstream file(path("aar_s.aartr"),
+                    std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(static_cast<std::streamoff>(kHeaderSize) + 20);
+  const char byte = 0x13;
+  file.write(&byte, 1);
+  file.close();
+  const Reader reader(path("aar_s.aartr"));
+  StoreBlockSource source(reader);
+  EXPECT_THROW((void)source.next_block(200), std::runtime_error);
+}
+
+TEST_F(StoreTest, BlockSourceRejectsNonPairStreams) {
+  trace::Database db;
+  db.add_query(QueryRecord{.time = 1.0, .guid = 1, .source_host = 2, .query = 3});
+  write_queries_file(path("aar_s.aartr"), db.queries());
+  const Reader reader(path("aar_s.aartr"));
+  EXPECT_THROW(StoreBlockSource{reader}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aar::store

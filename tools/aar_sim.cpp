@@ -1,16 +1,25 @@
 // aar_sim — command-line front end to the trace simulator.
 //
 // The modern equivalent of the paper's <500-line PHP simulator: generate
-// synthetic captures, replay pair traces (synthetic or imported CSV) through
-// any rule-set maintenance strategy, and emit per-block series.
+// synthetic captures, replay pair traces (synthetic, imported CSV, or binary
+// aartr files streamed out-of-core) through any rule-set maintenance
+// strategy, convert between trace formats, and emit per-block series.
 //
 // Usage:
 //   aar_sim generate --pairs N [--seed S] [--block-size B] --out pairs.csv
 //   aar_sim run --strategy <static|sliding|lazy|adaptive|incremental>
-//               [--trace pairs.csv | --blocks N] [--block-size B]
+//               [--trace pairs.{csv,aartr} | --blocks N] [--block-size B]
 //               [--min-support T] [--period P] [--history H] [--seed S]
 //               [--csv series.csv]
-//   aar_sim compare [--blocks N] [--block-size B] [--min-support T] [--seed S]
+//   aar_sim compare [--trace pairs.{csv,aartr} | --blocks N] [--block-size B]
+//               [--min-support T] [--seed S]
+//   aar_sim convert --in A --out B [--kind queries|replies|pairs] [--chunk N]
+//               (direction from extensions: *.csv <-> *.aartr)
+//   aar_sim inspect --in trace.aartr
+//
+// A `.aartr` trace given to `run`/`compare` is replayed through the
+// streaming store::StoreBlockSource, so only one block plus one prefetched
+// chunk is ever resident — traces far larger than RAM replay fine.
 //
 // Exit status: 0 on success, 2 on usage errors.
 
@@ -23,6 +32,9 @@
 
 #include "core/strategy.hpp"
 #include "core/trace_simulator.hpp"
+#include "store/block_source.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 #include "trace/database.hpp"
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
@@ -59,11 +71,22 @@ int usage() {
          "  aar_sim run --strategy NAME [--trace F | --blocks N]\n"
          "              [--block-size B] [--min-support T] [--period P]\n"
          "              [--history H] [--seed S] [--csv F]\n"
-         "  aar_sim compare [--blocks N] [--block-size B] [--min-support T]"
-         " [--seed S]\n"
-         "strategies: static sliding lazy adaptive incremental streaming\n";
+         "  aar_sim compare [--trace F | --blocks N] [--block-size B]\n"
+         "              [--min-support T] [--seed S]\n"
+         "  aar_sim convert --in A --out B [--kind queries|replies|pairs]\n"
+         "              [--chunk N]  (*.csv <-> *.aartr by extension)\n"
+         "  aar_sim inspect --in F.aartr\n"
+         "strategies: static sliding lazy adaptive incremental streaming\n"
+         "traces:     *.csv loads in memory; *.aartr streams out-of-core\n";
   return 2;
 }
+
+bool has_suffix(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_aartr(const std::string& path) { return has_suffix(path, ".aartr"); }
 
 Options parse(int argc, char** argv) {
   Options options;
@@ -83,6 +106,7 @@ std::vector<trace::QueryReplyPair> load_or_generate(const Options& options) {
   if (options.has("trace")) {
     const std::string path = options.get("trace", "");
     std::cout << "loading pair trace from " << path << "\n";
+    if (is_aartr(path)) return store::Reader(path).read_all_pairs();
     return trace::read_pairs_csv(path);
   }
   trace::TraceConfig config;
@@ -129,7 +153,11 @@ int cmd_generate(const Options& options) {
   db.import(generator, pair_target);
   db.join();
   const std::string out = options.get("out", "pairs.csv");
-  trace::write_pairs_csv(out, db);
+  if (is_aartr(out)) {
+    store::write_pairs_file(out, db.pairs());
+  } else {
+    trace::write_pairs_csv(out, db);
+  }
   std::cout << "wrote " << db.pairs().size() << " pairs ("
             << generator.queries_generated() << " queries, "
             << generator.replies_generated() << " replies) to " << out << "\n";
@@ -140,16 +168,32 @@ int cmd_run(const Options& options) {
   const std::string name = options.get("strategy", "");
   std::unique_ptr<core::Strategy> strategy = make_strategy(name, options);
   if (strategy == nullptr) return usage();
-  const auto pairs = load_or_generate(options);
   const auto block_size =
       static_cast<std::size_t>(options.num("block-size", 10'000));
-  if (pairs.size() < 2 * block_size) {
-    std::cerr << "trace too short: " << pairs.size() << " pairs for block size "
-              << block_size << "\n";
-    return 2;
+  core::SimulationResult result;
+  if (options.has("trace") && is_aartr(options.get("trace", ""))) {
+    // Out-of-core path: decode chunk-by-chunk with prefetch, never holding
+    // more than one block plus one chunk in memory.
+    const std::string path = options.get("trace", "");
+    const store::Reader reader(path);
+    if (reader.num_records() < 2 * block_size) {
+      std::cerr << "trace too short: " << reader.num_records()
+                << " pairs for block size " << block_size << "\n";
+      return 2;
+    }
+    store::StoreBlockSource source(reader);
+    std::cout << "streaming " << reader.num_records() << " pairs from " << path
+              << " (" << reader.num_chunks() << " chunks)\n";
+    result = core::run_trace_simulation(*strategy, source, block_size);
+  } else {
+    const auto pairs = load_or_generate(options);
+    if (pairs.size() < 2 * block_size) {
+      std::cerr << "trace too short: " << pairs.size()
+                << " pairs for block size " << block_size << "\n";
+      return 2;
+    }
+    result = core::run_trace_simulation(*strategy, pairs, block_size);
   }
-  const core::SimulationResult result =
-      core::run_trace_simulation(*strategy, pairs, block_size);
   std::cout << result.to_string() << "\n";
   util::Table table({"block", "coverage", "success"});
   const std::size_t stride = std::max<std::size_t>(1, result.coverage.size() / 20);
@@ -170,21 +214,102 @@ int cmd_run(const Options& options) {
 }
 
 int cmd_compare(const Options& options) {
-  const auto pairs = load_or_generate(options);
   const auto block_size =
       static_cast<std::size_t>(options.num("block-size", 10'000));
+  const bool streamed =
+      options.has("trace") && is_aartr(options.get("trace", ""));
+  std::unique_ptr<store::Reader> reader;
+  std::vector<trace::QueryReplyPair> pairs;
+  if (streamed) {
+    reader = std::make_unique<store::Reader>(options.get("trace", ""));
+    std::cout << "streaming " << reader->num_records() << " pairs from "
+              << reader->path() << " per strategy\n";
+  } else {
+    pairs = load_or_generate(options);
+  }
   util::Table table({"strategy", "avg coverage", "avg success", "rule sets",
                      "blocks/regen"});
   for (const std::string name : {"static", "sliding", "lazy", "adaptive",
                                  "incremental", "streaming"}) {
     std::unique_ptr<core::Strategy> strategy = make_strategy(name, options);
-    const core::SimulationResult result =
-        core::run_trace_simulation(*strategy, pairs, block_size);
+    core::SimulationResult result;
+    if (streamed) {
+      store::StoreBlockSource source(*reader);  // fresh pass over the file
+      result = core::run_trace_simulation(*strategy, source, block_size);
+    } else {
+      result = core::run_trace_simulation(*strategy, pairs, block_size);
+    }
     table.row({result.strategy, util::Table::num(result.avg_coverage(), 3),
                util::Table::num(result.avg_success(), 3),
                std::to_string(result.rulesets_generated),
                util::Table::num(result.blocks_per_generation(), 2)});
   }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_convert(const Options& options) {
+  if (!options.has("in") || !options.has("out")) return usage();
+  const std::string in = options.get("in", "");
+  const std::string out = options.get("out", "");
+  const std::string kind = options.get("kind", "pairs");
+  const auto chunk =
+      static_cast<std::uint32_t>(options.num("chunk", store::kDefaultChunkRecords));
+
+  if (has_suffix(in, ".csv") && is_aartr(out)) {
+    std::size_t records = 0;
+    if (kind == "pairs") {
+      const auto pairs = trace::read_pairs_csv(in);
+      store::write_pairs_file(out, pairs, chunk);
+      records = pairs.size();
+    } else if (kind == "queries") {
+      trace::Database db;
+      records = trace::read_queries_csv(in, db);
+      store::write_queries_file(out, db.queries(), chunk);
+    } else if (kind == "replies") {
+      trace::Database db;
+      records = trace::read_replies_csv(in, db);
+      store::write_replies_file(out, db.replies(), chunk);
+    } else {
+      return usage();
+    }
+    std::cout << "wrote " << records << " " << kind << " to " << out << "\n";
+    return 0;
+  }
+  if (is_aartr(in) && has_suffix(out, ".csv")) {
+    const store::Reader reader(in);
+    trace::Database db;
+    reader.materialize(db);
+    switch (reader.kind()) {
+      case store::StreamKind::queries: trace::write_queries_csv(out, db); break;
+      case store::StreamKind::replies: trace::write_replies_csv(out, db); break;
+      case store::StreamKind::pairs: trace::write_pairs_csv(out, db); break;
+    }
+    std::cout << "wrote " << reader.num_records() << " "
+              << store::to_string(reader.kind()) << " to " << out << "\n";
+    return 0;
+  }
+  std::cerr << "convert: need *.csv -> *.aartr or *.aartr -> *.csv\n";
+  return 2;
+}
+
+int cmd_inspect(const Options& options) {
+  if (!options.has("in")) return usage();
+  const store::Reader reader(options.get("in", ""));
+  const double bytes_per_record =
+      reader.num_records() == 0
+          ? 0.0
+          : static_cast<double>(reader.file_bytes()) /
+                static_cast<double>(reader.num_records());
+  util::Table table({"field", "value"});
+  table.row({"path", reader.path()});
+  table.row({"kind", store::to_string(reader.kind())});
+  table.row({"format version", std::to_string(store::kFormatVersion)});
+  table.row({"records", std::to_string(reader.num_records())});
+  table.row({"chunks", std::to_string(reader.num_chunks())});
+  table.row({"chunk capacity", std::to_string(reader.chunk_capacity())});
+  table.row({"file bytes", std::to_string(reader.file_bytes())});
+  table.row({"bytes/record", util::Table::num(bytes_per_record, 2)});
   table.print(std::cout);
   return 0;
 }
@@ -197,6 +322,8 @@ int main(int argc, char** argv) {
     if (options.command == "generate") return cmd_generate(options);
     if (options.command == "run") return cmd_run(options);
     if (options.command == "compare") return cmd_compare(options);
+    if (options.command == "convert") return cmd_convert(options);
+    if (options.command == "inspect") return cmd_inspect(options);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -12,6 +12,7 @@
 #include "core/forwarder.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("a1_topk");
   using namespace aar;
   bench::print_header("A1",
                       "top-k vs random-k forwarding fan-out (§III-B.1)");
@@ -82,5 +83,5 @@ int main() {
       {"success grows with k", "monotone in fan-out",
        successes[2] - successes[0], successes[2] >= successes[0]},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

@@ -13,6 +13,7 @@
 #include "util/csv.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("a2_pruning");
   using namespace aar;
   bench::print_header("A2", "pruning threshold vs rule-set size and quality");
 
@@ -67,5 +68,5 @@ int main() {
       {"high thresholds eventually hurt coverage", "may not be comparable",
        coverages[3] - coverages.back(), coverages.back() < coverages[3]},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

@@ -15,6 +15,7 @@
 #include "util/csv.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("a3_extensions");
   using namespace aar;
   bench::print_header("A3", "confidence pruning and query-dimension rules (§VI)");
 
@@ -97,5 +98,5 @@ int main() {
        plain_cov.mean() - dim_cov.mean(),
        dim_cov.mean() > plain_cov.mean() - 0.25},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

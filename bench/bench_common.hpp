@@ -7,14 +7,18 @@
 // equality with the 2006 testbed is not expected — the `band` column records
 // the tolerance under which the reproduction is judged.
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/strategy.hpp"
 #include "core/trace_simulator.hpp"
+#include "obs/registry.hpp"
 #include "trace/generator.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -94,5 +98,63 @@ inline void print_series(const core::SimulationResult& result,
 inline bool within(double measured, double lo, double hi) {
   return measured >= lo && measured <= hi;
 }
+
+/// Per-bench perf record: wall time from construction to finish(), optional
+/// throughput denominator, named extras, and a full obs registry snapshot
+/// (per-block timings, store / overlay counters, peak rule-set size via
+/// metrics.gauges["sim.ruleset_size"].max).  finish() writes
+/// out/BENCH_<id>.json ("aar.bench.v1", see docs/OBSERVABILITY.md) — the
+/// repo's perf trajectory, one file per bench per run.
+class PerfRecord {
+ public:
+  explicit PerfRecord(std::string id)
+      : id_(std::move(id)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Pairs (or other work items) processed, for the pairs/sec rate.
+  void set_pairs(double pairs) { pairs_ = pairs; }
+  /// Attach a named scalar (acceptance ratios, peak sizes, ...).
+  void extra(const std::string& key, double value) {
+    extras_.emplace_back(key, value);
+  }
+
+  /// Write the record and pass `status` through (so benches can keep their
+  /// `return print_comparison(rows)` shape).
+  int finish(int status) {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    if (pairs_ == 0.0) {
+      // Default throughput denominator: pairs the trace simulator replayed.
+      pairs_ = static_cast<double>(
+          obs::Registry::global().counter("sim.pairs_processed").value());
+    }
+    const std::string path = out_path("BENCH_" + id_ + ".json");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write perf record to " << path << "\n";
+      return status != 0 ? status : 1;
+    }
+    out << "{\"schema\":\"aar.bench.v1\",\"id\":\"" << id_
+        << "\",\"status\":" << status << ",\"wall_seconds\":" << wall
+        << ",\"pairs\":" << pairs_
+        << ",\"pairs_per_sec\":" << (wall > 0.0 ? pairs_ / wall : 0.0)
+        << ",\"extra\":{";
+    for (std::size_t i = 0; i < extras_.size(); ++i) {
+      if (i != 0) out << ',';
+      out << '"' << extras_[i].first << "\":" << extras_[i].second;
+    }
+    out << "},\"metrics\":";
+    obs::Registry::global().write_json(out);
+    out << "}\n";
+    std::cout << "perf record written to " << path << "\n";
+    return status;
+  }
+
+ private:
+  std::string id_;
+  std::chrono::steady_clock::time_point start_;
+  double pairs_ = 0.0;
+  std::vector<std::pair<std::string, double>> extras_;
+};
 
 }  // namespace aar::bench

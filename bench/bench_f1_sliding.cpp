@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("f1_sliding");
   using namespace aar;
   bench::print_header("F1", "Sliding Window coverage/success over time (Fig. 1)");
 
@@ -34,5 +35,5 @@ int main() {
        static_cast<double>(result.rulesets_generated),
        result.rulesets_generated == 366},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

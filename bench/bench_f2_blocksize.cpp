@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("f2_blocksize");
   using namespace aar;
   bench::print_header(
       "F2", "Sliding Window coverage vs block size / prune threshold (Fig. 2)");
@@ -83,5 +84,5 @@ int main() {
        threshold_coverages[2] - threshold_coverages.back(),
        threshold_coverages.back() < threshold_coverages[2]},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

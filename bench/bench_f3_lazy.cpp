@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("f3_lazy");
   using namespace aar;
   bench::print_header("F3", "Lazy Sliding Window over time, period 10 (Fig. 3)");
 
@@ -58,5 +59,5 @@ int main() {
        static_cast<double>(result.rulesets_generated),
        bench::within(static_cast<double>(result.rulesets_generated), 35, 39)},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("f4_adaptive");
   using namespace aar;
   bench::print_header("F4", "Adaptive Sliding Window, N=10 and N=50 (Fig. 4)");
 
@@ -65,5 +66,5 @@ int main() {
        rs.avg_coverage() - r50.avg_coverage(),
        rs.avg_coverage() - r50.avg_coverage() < 0.08},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

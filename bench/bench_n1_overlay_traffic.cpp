@@ -19,6 +19,7 @@
 #include "util/csv.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("n1_overlay_traffic");
   using namespace aar;
   using namespace aar::overlay;
   bench::print_header("N1", "per-query traffic by routing policy (2,000 nodes)");
@@ -132,5 +133,5 @@ int main() {
        hybrid.total_messages.mean() / assoc.total_messages.mean(),
        hybrid.total_messages.mean() < 1.05 * assoc.total_messages.mean()},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

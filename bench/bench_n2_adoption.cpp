@@ -15,6 +15,7 @@
 #include "util/csv.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("n2_adoption");
   using namespace aar;
   using namespace aar::overlay;
   bench::print_header("N2", "traffic vs fraction of adopting nodes (§III-B)");
@@ -73,5 +74,5 @@ int main() {
        results.back().success_rate(),
        results.back().success_rate() > results.front().success_rate() - 0.03},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

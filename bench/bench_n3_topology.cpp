@@ -17,6 +17,7 @@
 #include "overlay/experiment.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("n3_topology");
   using namespace aar;
   using namespace aar::overlay;
   bench::print_header("N3", "rule-driven topology adaptation (§VI)");
@@ -78,5 +79,5 @@ int main() {
        after.success_rate() - before.success_rate(),
        after.success_rate() > before.success_rate() - 0.02},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

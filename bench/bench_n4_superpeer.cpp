@@ -56,6 +56,7 @@ SuperPeerStats run_superpeer(const aar::overlay::SuperPeerConfig& config,
 }  // namespace
 
 int main() {
+  aar::bench::PerfRecord perf("n4_superpeer");
   using namespace aar;
   using namespace aar::overlay;
   bench::print_header("N4", "super-peer network vs flat policies (§II, [14])");
@@ -130,5 +131,5 @@ int main() {
        superpeer.success - flooding.success_rate(),
        superpeer.success > flooding.success_rate() - 0.05},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

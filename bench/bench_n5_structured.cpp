@@ -21,6 +21,7 @@
 #include "util/csv.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("n5_structured");
   using namespace aar;
   bench::print_header("N5", "Chord DHT vs unstructured search (§II critique)");
 
@@ -173,5 +174,5 @@ int main() {
        "does not disconnect gracelessly", flood_reachable_fractions.back(),
        flood_reachable_fractions.back() > 0.55},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

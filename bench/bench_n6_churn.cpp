@@ -45,6 +45,7 @@ ChurnRun run_with_churn(Network& network, std::size_t epochs,
 }  // namespace
 
 int main() {
+  aar::bench::PerfRecord perf("n6_churn");
   bench::print_header("N6", "learned routing under overlay churn");
 
   ExperimentConfig config;
@@ -143,5 +144,5 @@ int main() {
                                     mean_tail(assoc.messages),
        mean_tail(ri.messages) > mean_tail(assoc.messages)},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

@@ -9,6 +9,8 @@
 
 #include <memory>
 
+#include "bench_common.hpp"
+
 #include "assoc/apriori.hpp"
 #include "core/measures.hpp"
 #include "core/strategy.hpp"
@@ -131,4 +133,13 @@ BENCHMARK(BM_ZipfSample);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also lands in the perf trajectory
+// (out/BENCH_p1_micro.json) like every comparison bench.
+int main(int argc, char** argv) {
+  aar::bench::PerfRecord perf("p1_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return perf.finish(0);
+}

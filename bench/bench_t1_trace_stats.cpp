@@ -15,6 +15,7 @@
 #include "trace/database.hpp"
 
 int main(int argc, char** argv) {
+  aar::bench::PerfRecord perf("t1_trace_stats");
   using namespace aar;
   const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
   constexpr std::uint64_t kPaperQueries = 10'514'090;
@@ -76,5 +77,5 @@ int main(int argc, char** argv) {
       {"duplicate GUIDs present", "> 0 (buggy clients)",
        static_cast<double>(removed), removed > 0},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

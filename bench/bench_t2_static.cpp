@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("t2_static");
   using namespace aar;
   bench::print_header("T2", "Static Ruleset over 365 trials (paper §V-A)");
 
@@ -56,5 +57,5 @@ int main() {
        bench::within(avg_20k, 0.6 * result.avg_coverage(),
                      1.4 * result.avg_coverage())},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

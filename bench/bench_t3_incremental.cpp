@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 int main() {
+  aar::bench::PerfRecord perf("t3_incremental");
   using namespace aar;
   bench::print_header("T3", "Incremental (streaming) rule maintenance (§VI)");
 
@@ -53,5 +54,5 @@ int main() {
        "stream mining per [18]", rstream.avg_coverage(),
        rstream.avg_coverage() > 0.9},
   };
-  return bench::print_comparison(rows);
+  return perf.finish(bench::print_comparison(rows));
 }

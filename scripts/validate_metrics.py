@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Structural validator for aar observability JSON (docs/OBSERVABILITY.md).
+
+Validates `aar.metrics.v1` (aar_sim --metrics output) and `aar.bench.v1`
+(out/BENCH_<id>.json perf records), detected from the top-level "schema"
+key.  Stdlib only; exits nonzero on the first file that fails, so CI can
+use it as a drift tripwire for the documented schemas.
+
+Usage: validate_metrics.py FILE [FILE ...]
+"""
+
+import json
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(path, msg):
+    raise SchemaError(f"{path}: {msg}")
+
+
+def check_number(value, path, *, integer=False, allow_null=False):
+    if allow_null and value is None:  # non-finite doubles serialize as null
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        fail(path, f"expected a number, got {type(value).__name__}")
+    if integer and not isinstance(value, int):
+        fail(path, f"expected an integer, got {value!r}")
+
+
+def check_str_map(obj, path, value_check):
+    if not isinstance(obj, dict):
+        fail(path, f"expected an object, got {type(obj).__name__}")
+    for name, value in obj.items():
+        if not isinstance(name, str) or not name:
+            fail(path, f"non-string or empty metric name: {name!r}")
+        value_check(value, f"{path}.{name}")
+
+
+def check_keys(obj, path, required):
+    if not isinstance(obj, dict):
+        fail(path, f"expected an object, got {type(obj).__name__}")
+    missing = sorted(set(required) - set(obj))
+    if missing:
+        fail(path, f"missing keys: {', '.join(missing)}")
+    extra = sorted(set(obj) - set(required))
+    if extra:
+        fail(path, f"undocumented keys: {', '.join(extra)}")
+
+
+def check_gauge(value, path):
+    check_keys(value, path, ["value", "max"])
+    check_number(value["value"], f"{path}.value", allow_null=True)
+    check_number(value["max"], f"{path}.max", allow_null=True)
+
+
+def check_timer(value, path):
+    check_keys(value, path, ["count", "total_ns", "min_ns", "max_ns"])
+    for key in ("count", "total_ns", "min_ns", "max_ns"):
+        check_number(value[key], f"{path}.{key}", integer=True)
+    if value["count"] == 0 and value["total_ns"] != 0:
+        fail(path, "zero-count timer with nonzero total_ns")
+
+
+def check_histogram(value, path):
+    check_keys(value, path, ["lo", "hi", "bins", "total", "dropped", "counts"])
+    check_number(value["lo"], f"{path}.lo")
+    check_number(value["hi"], f"{path}.hi")
+    for key in ("bins", "total", "dropped"):
+        check_number(value[key], f"{path}.{key}", integer=True)
+    if not isinstance(value["counts"], list):
+        fail(f"{path}.counts", "expected an array")
+    if len(value["counts"]) != value["bins"]:
+        fail(f"{path}.counts",
+             f"length {len(value['counts'])} != bins {value['bins']}")
+    for i, c in enumerate(value["counts"]):
+        check_number(c, f"{path}.counts[{i}]", integer=True)
+    if sum(value["counts"]) != value["total"]:
+        fail(f"{path}.counts", "bin counts do not sum to total")
+
+
+def check_series(value, path):
+    if not isinstance(value, list):
+        fail(path, "expected an array")
+    for i, v in enumerate(value):
+        check_number(v, f"{path}[{i}]", allow_null=True)
+
+
+def check_metrics(doc, path):
+    check_keys(doc, path,
+               ["schema", "counters", "gauges", "timers", "histograms",
+                "series"])
+    if doc["schema"] != "aar.metrics.v1":
+        fail(f"{path}.schema", f"expected aar.metrics.v1, got {doc['schema']!r}")
+    check_str_map(doc["counters"], f"{path}.counters",
+                  lambda v, p: check_number(v, p, integer=True))
+    check_str_map(doc["gauges"], f"{path}.gauges", check_gauge)
+    check_str_map(doc["timers"], f"{path}.timers", check_timer)
+    check_str_map(doc["histograms"], f"{path}.histograms", check_histogram)
+    check_str_map(doc["series"], f"{path}.series", check_series)
+
+
+def check_bench(doc, path):
+    check_keys(doc, path,
+               ["schema", "id", "status", "wall_seconds", "pairs",
+                "pairs_per_sec", "extra", "metrics"])
+    if doc["schema"] != "aar.bench.v1":
+        fail(f"{path}.schema", f"expected aar.bench.v1, got {doc['schema']!r}")
+    if not isinstance(doc["id"], str) or not doc["id"]:
+        fail(f"{path}.id", f"expected a nonempty string, got {doc['id']!r}")
+    check_number(doc["status"], f"{path}.status", integer=True)
+    check_number(doc["wall_seconds"], f"{path}.wall_seconds")
+    check_number(doc["pairs"], f"{path}.pairs")
+    check_number(doc["pairs_per_sec"], f"{path}.pairs_per_sec")
+    check_str_map(doc["extra"], f"{path}.extra",
+                  lambda v, p: check_number(v, p, allow_null=True))
+    check_metrics(doc["metrics"], f"{path}.metrics")
+
+
+def validate_file(filename):
+    with open(filename, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "schema" not in doc:
+        fail(filename, "top level must be an object with a 'schema' key")
+    schema = doc["schema"]
+    if schema == "aar.metrics.v1":
+        check_metrics(doc, filename)
+    elif schema == "aar.bench.v1":
+        check_bench(doc, filename)
+    else:
+        fail(filename, f"unknown schema {schema!r}")
+    return schema
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for filename in argv[1:]:
+        try:
+            schema = validate_file(filename)
+        except (SchemaError, json.JSONDecodeError, OSError) as err:
+            print(f"FAIL {filename}: {err}", file=sys.stderr)
+            return 1
+        print(f"ok   {filename} ({schema})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,7 +5,17 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/registry.hpp"
+
 namespace aar::core {
+
+void Strategy::regenerate(Block block) {
+  static obs::Timer& build_timer =
+      obs::Registry::global().timer("core.ruleset_build");
+  const obs::Timer::Scope scope = build_timer.measure();
+  current_ = RuleSet::build(block, min_support_);
+  ++rulesets_generated_;
+}
 
 namespace {
 constexpr std::uint64_t pair_key(HostId source, HostId replier) noexcept {

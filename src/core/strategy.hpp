@@ -50,10 +50,8 @@ class Strategy {
   [[nodiscard]] std::uint32_t min_support() const noexcept { return min_support_; }
 
  protected:
-  void regenerate(Block block) {
-    current_ = RuleSet::build(block, min_support_);
-    ++rulesets_generated_;
-  }
+  /// Mine `block` into a fresh rule set (timed under obs "core.ruleset_build").
+  void regenerate(Block block);
 
   RuleSet current_;
 

@@ -25,6 +25,10 @@ struct SimulationResult {
   std::uint32_t min_support = 0;
   util::Series coverage{"coverage"};
   util::Series success{"success"};
+  /// Wall-clock seconds spent evaluating (and, per the strategy's policy,
+  /// regenerating from) each test block — the per-block timing series that
+  /// `aar_sim run --metrics` exports.
+  util::Series eval_seconds{"eval_seconds"};
   std::uint64_t rulesets_generated = 0;  ///< bootstrap included
   std::uint64_t blocks_tested = 0;
 
@@ -44,8 +48,10 @@ struct SimulationResult {
 };
 
 /// Replay `pairs` through `strategy` in blocks of `block_size`.
-/// Block 0 bootstraps; blocks 1..B-1 are tested.  Requires at least two
-/// whole blocks of pairs.
+/// Block 0 bootstraps; blocks 1..B-1 are tested.  Throws
+/// std::invalid_argument for a zero block size and std::runtime_error when
+/// the trace holds fewer than two whole blocks — in every build type, not
+/// just under assertions.
 [[nodiscard]] SimulationResult run_trace_simulation(
     Strategy& strategy, std::span<const trace::QueryReplyPair> pairs,
     std::size_t block_size);
@@ -53,9 +59,10 @@ struct SimulationResult {
 /// Out-of-core variant: pull blocks from `source` until it is exhausted.
 /// Only the current block need be resident, so arbitrarily long traces
 /// (e.g. a store::StoreBlockSource over an aartr file) replay in bounded
-/// memory.  The source must yield at least two blocks (bootstrap + one
-/// test block).  Produces exactly the per-block series the in-memory
-/// overload produces for the same pair stream.
+/// memory.  Throws std::invalid_argument for a zero block size and
+/// std::runtime_error when the source yields no bootstrap block or no test
+/// block.  Produces exactly the per-block series the in-memory overload
+/// produces for the same pair stream.
 [[nodiscard]] SimulationResult run_trace_simulation(Strategy& strategy,
                                                     trace::BlockSource& source,
                                                     std::size_t block_size);

@@ -1,0 +1,251 @@
+#pragma once
+// Low-overhead metric primitives for hot-path instrumentation.
+//
+// All four metric kinds are safe to mutate from any thread without external
+// locking and are designed so that the per-event cost is one relaxed atomic
+// op (Counter), one store plus a rarely-contended CAS (Gauge), or two clock
+// reads per scope (Timer).  Counters shard their cells per thread over
+// cache-line-padded slots so `util::parallel_for` sweeps bumping the same
+// counter do not bounce a cache line between cores.
+//
+// Instrumented code binds a reference once (the registry lookup is the only
+// synchronized step) and mutates through it forever:
+//
+//   static obs::Counter& queries =
+//       obs::Registry::global().counter("overlay.query_messages");
+//   queries.add(n);
+//
+// Compiling with -DAAR_OBS_OFF (CMake option AAR_OBS_OFF) turns every
+// mutation into an inline no-op while keeping the API intact, so
+// instrumentation can stay in place in builds that must not pay even the
+// relaxed-atomic cost.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace aar::obs {
+
+/// Number of per-thread counter slots.  Threads are assigned slots
+/// round-robin; more threads than shards just share (still correct, merely
+/// contended).  16 * 64 B = 1 KiB per counter.
+inline constexpr std::size_t kCounterShards = 16;
+
+/// Round-robin shard index for the calling thread (stable for its lifetime).
+std::size_t this_thread_shard() noexcept;
+
+/// Monotonic event counter with per-thread sharded cells.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+#ifndef AAR_OBS_OFF
+    shards_[this_thread_shard()].cell.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& shard : shards_) {
+      sum += shard.cell.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (Shard& shard : shards_) {
+      shard.cell.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> cell{0};
+  };
+  std::array<Shard, kCounterShards> shards_{};
+};
+
+/// Last-written value plus a running maximum (e.g. peak rule-set size).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+#ifndef AAR_OBS_OFF
+    value_.store(v, std::memory_order_relaxed);
+    double seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Largest value ever set(); 0 before the first set().
+  [[nodiscard]] double max() const noexcept {
+    const double m = max_.load(std::memory_order_relaxed);
+    return m == -std::numeric_limits<double>::infinity() ? 0.0 : m;
+  }
+
+  void reset() noexcept {
+    value_.store(0.0, std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// edge bins, NaN samples are counted in dropped() and otherwise ignored —
+/// a non-finite sample must never be undefined behaviour (it was in the
+/// pre-obs util::Histogram, see ISSUE 2).
+class Histogram {
+ public:
+  /// Requires hi > lo and bins >= 1 (enforced by Registry::histogram).
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {}
+
+  void observe(double x) noexcept {
+#ifndef AAR_OBS_OFF
+    if (x != x) {  // NaN: no meaningful bin
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const double pos = (x - lo_) / width_;  // +-inf clamp into the edge bins
+    std::size_t bin;
+    if (!(pos > 0.0)) {
+      bin = 0;
+    } else if (pos >= static_cast<double>(counts_.size())) {
+      bin = counts_.size() - 1;
+    } else {
+      bin = static_cast<std::size_t>(pos);
+    }
+    counts_[bin].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+#else
+    (void)x;
+#endif
+  }
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept {
+    return lo_ + width_ * static_cast<double>(counts_.size());
+  }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept {
+    return counts_[bin].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  /// NaN samples seen (and not binned).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Wall-clock duration accumulator (count, total, min, max in ns).
+class Timer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// RAII scope: records the enclosed duration on destruction.
+  class Scope {
+   public:
+    explicit Scope(Timer& timer) noexcept
+#ifndef AAR_OBS_OFF
+        : timer_(&timer), start_(Clock::now())
+#endif
+    {
+      (void)timer;
+    }
+    ~Scope() {
+#ifndef AAR_OBS_OFF
+      const auto elapsed = Clock::now() - start_;
+      timer_->record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+#endif
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+#ifndef AAR_OBS_OFF
+    Timer* timer_;
+    Clock::time_point start_;
+#endif
+  };
+
+  [[nodiscard]] Scope measure() noexcept { return Scope(*this); }
+
+  void record_ns(std::uint64_t ns) noexcept {
+#ifndef AAR_OBS_OFF
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+    while (ns < seen &&
+           !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+    }
+    seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+    }
+#else
+    (void)ns;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min_ns() const noexcept {
+    const std::uint64_t m = min_ns_.load(std::memory_order_relaxed);
+    return m == std::numeric_limits<std::uint64_t>::max() ? 0 : m;
+  }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    min_ns_.store(std::numeric_limits<std::uint64_t>::max(),
+                  std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace aar::obs

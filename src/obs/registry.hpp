@@ -1,0 +1,70 @@
+#pragma once
+// Process-wide metric registry with JSON and console-table export.
+//
+// Lookup is synchronized and amortized away: instrumented code asks the
+// registry for a metric once (typically through a function-local static
+// reference) and the returned reference stays valid for the life of the
+// process — metrics are never unregistered, and the storage is node-stable.
+// `reset()` zeroes every metric in place without invalidating references,
+// which is what tests and repeated bench trials use to isolate runs.
+//
+// The JSON layout ("aar.metrics.v1") is documented in docs/OBSERVABILITY.md
+// and validated in CI by scripts/validate_metrics.py.
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace aar::obs {
+
+/// A named per-block (or per-trial) series attached to a JSON snapshot by
+/// the caller — e.g. aar_sim's per-block eval-time / coverage / success
+/// series, which live in the SimulationResult rather than the registry.
+struct NamedSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry all built-in instrumentation uses.
+  static Registry& global();
+
+  /// Find-or-create.  References remain valid forever; histogram shape
+  /// parameters are fixed by the first call for a given name.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Requires hi > lo and bins >= 1 (throws std::invalid_argument).
+  Histogram& histogram(std::string_view name, double lo, double hi,
+                       std::size_t bins);
+  Timer& timer(std::string_view name);
+
+  /// Zero every registered metric in place (references stay valid).
+  void reset();
+
+  /// Write one "aar.metrics.v1" JSON object.  `series` lets the caller
+  /// attach per-block arrays (written under "series").  Locale-independent
+  /// number formatting; keys sorted, so output is deterministic.
+  void write_json(std::ostream& os,
+                  std::span<const NamedSeries> series = {}) const;
+
+  /// Human-readable summary tables (counters / gauges / timers / histograms).
+  void print_table(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map for deterministic export order; unique_ptr for stable addresses.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+}  // namespace aar::obs

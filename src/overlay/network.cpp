@@ -4,7 +4,33 @@
 #include <cassert>
 #include <deque>
 
+#include "obs/registry.hpp"
+
 namespace aar::overlay {
+
+namespace {
+
+/// Fold one finished search into the process-wide overlay counters.  Bound
+/// once, bumped once per search — nothing obs-related runs per message.
+void record_search(const SearchOutcome& outcome) {
+  auto& registry = obs::Registry::global();
+  static obs::Counter& searches = registry.counter("overlay.searches");
+  static obs::Counter& hits = registry.counter("overlay.hits");
+  static obs::Counter& queries = registry.counter("overlay.query_messages");
+  static obs::Counter& replies = registry.counter("overlay.reply_messages");
+  static obs::Counter& probes = registry.counter("overlay.probe_messages");
+  static obs::Counter& fallbacks = registry.counter("overlay.flood_fallbacks");
+  static obs::Counter& rule_routed = registry.counter("overlay.rule_routed");
+  searches.add(1);
+  if (outcome.hit) hits.add(1);
+  queries.add(outcome.query_messages);
+  replies.add(outcome.reply_messages);
+  probes.add(outcome.probe_messages);
+  if (outcome.used_fallback) fallbacks.add(1);
+  if (outcome.rule_routed) rule_routed.add(1);
+}
+
+}  // namespace
 
 Network::Network(const NetworkConfig& config, Graph graph,
                  const PolicyFactory& factory)
@@ -121,6 +147,7 @@ Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
   };
   std::deque<InFlight> frontier;
   frontier.push_back({origin, origin, 0, ttl});
+  std::size_t frontier_peak = 1;
 
   FloodingPolicy flood;
   std::vector<NodeId> targets;
@@ -171,7 +198,11 @@ Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
       ++pass.query_messages;
       frontier.push_back({target, msg.node, msg.depth + 1, msg.ttl - 1});
     }
+    frontier_peak = std::max(frontier_peak, frontier.size());
   }
+  static obs::Histogram& peak_hist = obs::Registry::global().histogram(
+      "overlay.frontier_peak", 0.0, 1024.0, 64);
+  peak_hist.observe(static_cast<double>(frontier_peak));
   pass.origin_rule_routed = origin_decision && !force_flood;
   pass.any_rule_routed = any_directed && !force_flood;
   return pass;
@@ -201,6 +232,7 @@ SearchOutcome Network::search(NodeId origin, workload::FileId target,
       outcome.replicas_found = 1;
       outcome.rule_routed = true;
       policies_[origin]->on_search_result(query, origin, true, candidate);
+      record_search(outcome);
       return outcome;
     }
   }
@@ -249,6 +281,7 @@ SearchOutcome Network::search(NodeId origin, workload::FileId target,
   }
 
   policies_[origin]->on_search_result(query, origin, outcome.hit, server);
+  record_search(outcome);
   return outcome;
 }
 

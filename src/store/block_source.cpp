@@ -1,5 +1,7 @@
 #include "store/block_source.hpp"
 
+#include "obs/registry.hpp"
+
 namespace aar::store {
 
 StoreBlockSource::StoreBlockSource(const Reader& reader) : reader_(reader) {
@@ -38,10 +40,23 @@ void StoreBlockSource::schedule_prefetch() {
 }
 
 std::vector<trace::QueryReplyPair> StoreBlockSource::take_prefetched() {
+  // Hit = the decode finished before the simulator came back for the chunk
+  // (prefetch fully overlapped); wait = the consumer stalled on the decode.
+  auto& registry = obs::Registry::global();
+  static obs::Counter& hits = registry.counter("store.prefetch_hits");
+  static obs::Counter& waits = registry.counter("store.prefetch_waits");
+  static obs::Timer& wait_timer = registry.timer("store.prefetch_wait");
+
   std::vector<trace::QueryReplyPair> chunk;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    slot_filled_.wait(lock, [this] { return slot_ready_; });
+    if (slot_ready_) {
+      hits.add(1);
+    } else {
+      waits.add(1);
+      const obs::Timer::Scope stall = wait_timer.measure();
+      slot_filled_.wait(lock, [this] { return slot_ready_; });
+    }
     if (slot_error_ != nullptr) {
       const std::exception_ptr error = slot_error_;
       slot_error_ = nullptr;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define AAR_STORE_HAVE_MMAP 1
 #include <fcntl.h>
@@ -195,9 +197,17 @@ std::string Reader::chunk_payload(std::size_t chunk) const {
 std::vector<trace::QueryReplyPair> Reader::read_pairs_chunk(
     std::size_t chunk) const {
   require_kind(StreamKind::pairs);
+  auto& registry = obs::Registry::global();
+  static obs::Timer& decode_timer = registry.timer("store.chunk_decode");
+  static obs::Counter& chunks = registry.counter("store.chunks_decoded");
+  static obs::Counter& records_decoded =
+      registry.counter("store.records_decoded");
+  const obs::Timer::Scope scope = decode_timer.measure();
   const std::string payload = chunk_payload(chunk);
   std::vector<trace::QueryReplyPair> records(index_[chunk].records);
   decode_pairs(bytes(payload), payload.size(), records, path_);
+  chunks.add(1);
+  records_decoded.add(records.size());
   return records;
 }
 

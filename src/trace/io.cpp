@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,15 +30,26 @@ std::vector<std::string_view> split(std::string_view line) {
 template <typename T>
 T parse_number(std::string_view field, const std::string& path,
                std::size_t line_number) {
+  // Both branches are locale-independent and reject trailing bytes.  The old
+  // floating-point path used std::strtod, which honors LC_NUMERIC (a de_DE
+  // locale parses "1.5" as 1) and silently accepted trailing garbage.
   T value{};
   if constexpr (std::is_floating_point_v<T>) {
-    // std::from_chars for double is inconsistently available; strtod works.
-    char* end = nullptr;
-    const std::string buffer(field);
-    value = static_cast<T>(std::strtod(buffer.c_str(), &end));
-    if (end == buffer.c_str()) {
+#if defined(__cpp_lib_to_chars)
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    const bool ok = ec == std::errc{} && ptr == field.data() + field.size();
+#else
+    // Fallback for standard libraries without floating-point from_chars:
+    // stream extraction imbued with the classic "C" locale.
+    std::istringstream in{std::string(field)};
+    in.imbue(std::locale::classic());
+    in >> value;
+    const bool ok = !in.fail() && in.eof();
+#endif
+    if (!ok) {
       throw std::runtime_error(path + ":" + std::to_string(line_number) +
-                               ": bad number '" + buffer + "'");
+                               ": bad number '" + std::string(field) + "'");
     }
   } else {
     const auto [ptr, ec] =

@@ -60,10 +60,22 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
-  auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // Classify in floating point *before* any integer cast: a NaN sample, or a
+  // finite sample whose bin index exceeds the integer range, would make the
+  // float->int conversion undefined (and NaN makes clamp's comparisons
+  // unspecified).  NaN has no meaningful bin and is dropped; everything else
+  // (including +-inf) clamps into the edge bins as documented.
+  if (std::isnan(x)) return;
+  const double pos = (x - lo_) / width_;
+  std::size_t bin;
+  if (!(pos > 0.0)) {
+    bin = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>(pos);
+  }
+  ++counts_[bin];
   ++total_;
 }
 

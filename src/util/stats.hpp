@@ -82,8 +82,9 @@ class Series {
   Running running_;
 };
 
-/// Fixed-width histogram over [lo, hi); values outside are clamped into the
-/// first / last bin.  Used for hop-count and message-count distributions.
+/// Fixed-width histogram over [lo, hi); values outside (including +-inf) are
+/// clamped into the first / last bin, NaN samples are dropped (not counted in
+/// total()).  Used for hop-count and message-count distributions.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);

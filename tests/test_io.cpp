@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <random>
 
 namespace aar::trace {
 namespace {
@@ -12,7 +14,14 @@ namespace {
 class TraceIoTest : public ::testing::Test {
  protected:
   std::string path(const char* name) {
-    return (std::filesystem::temp_directory_path() / name).string();
+    // Unique per process: each test instance is a separate ctest process,
+    // and shared fixed names let concurrent instances truncate each
+    // other's files (flaky under ctest -j).
+    static const std::string token = [] {
+      std::random_device rd;
+      return "aar_" + std::to_string(rd()) + "_";
+    }();
+    return (std::filesystem::temp_directory_path() / (token + name)).string();
   }
   void TearDown() override {
     for (const char* name : {"aar_q.csv", "aar_r.csv", "aar_p.csv",
@@ -150,6 +159,44 @@ TEST_F(TraceIoTest, WrongFieldCountThrows) {
   out.close();
   Database db;
   EXPECT_THROW(read_queries_csv(path("aar_bad.csv"), db), std::runtime_error);
+}
+
+// Regression (ISSUE 2): the old strtod-based float parse silently accepted
+// trailing garbage ("1.5abc" parsed as 1.5), unlike the integer path.
+TEST_F(TraceIoTest, TrailingGarbageInFloatFieldThrows) {
+  std::ofstream out(path("aar_bad.csv"));
+  out << "time,guid,source_host,query\n1.5abc,2,3,4\n";
+  out.close();
+  Database db;
+  EXPECT_THROW(read_queries_csv(path("aar_bad.csv"), db), std::runtime_error);
+}
+
+// Regression (ISSUE 2): std::strtod honors LC_NUMERIC, so a comma-decimal
+// locale (de_DE: "1,5" is one-and-a-half) parsed "1.5" as 1 — trace
+// timestamps silently lost their fractional part.  The parse must be
+// locale-independent.
+TEST_F(TraceIoTest, FloatParseIgnoresCommaDecimalLocale) {
+  const char* previous = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string saved = previous != nullptr ? previous : "C";
+  const char* locale_name = nullptr;
+  for (const char* candidate : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8"}) {
+    if (std::setlocale(LC_NUMERIC, candidate) != nullptr) {
+      locale_name = candidate;
+      break;
+    }
+  }
+  if (locale_name == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  std::ofstream out(path("aar_bad.csv"));
+  out << "time,guid,source_host,query\n1.5,2,3,4\n";
+  out.close();
+  Database db;
+  read_queries_csv(path("aar_bad.csv"), db);
+  const double parsed = db.queries().front().time;
+  std::setlocale(LC_NUMERIC, saved.c_str());
+  EXPECT_DOUBLE_EQ(parsed, 1.5);
 }
 
 }  // namespace

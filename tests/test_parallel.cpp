@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
+
+#include "obs/registry.hpp"
 
 namespace aar::util {
 namespace {
@@ -93,6 +96,51 @@ TEST(ParallelFor, NonZeroBegin) {
     calls.fetch_add(1);
   });
   EXPECT_EQ(calls.load(), 10);
+}
+
+// ISSUE 2 satellite: submit+wait stress with instrumented tasks.  A producer
+// thread keeps submitting while the main thread cycles wait(), and every
+// task bumps a sharded obs counter — the workload the CI TSan job checks
+// for lost updates, torn waits, and counter races.
+TEST(ThreadPool, ConcurrentSubmitWaitStressWithObsCounters) {
+  obs::Counter bumps;
+  std::atomic<int> executed{0};
+  constexpr int kProducerTasks = 500;
+  constexpr int kMainTasks = 200;
+  {
+    ThreadPool pool(4);
+    std::thread producer([&] {
+      for (int i = 0; i < kProducerTasks; ++i) {
+        pool.submit([&] {
+          bumps.add();
+          executed.fetch_add(1);
+        });
+      }
+    });
+    for (int i = 0; i < kMainTasks; ++i) {
+      pool.submit([&] {
+        bumps.add();
+        executed.fetch_add(1);
+      });
+      if (i % 10 == 0) pool.wait();  // interleave waits with foreign submits
+    }
+    producer.join();
+    pool.wait();
+  }
+  EXPECT_EQ(executed.load(), kProducerTasks + kMainTasks);
+#ifndef AAR_OBS_OFF
+  EXPECT_EQ(bumps.value(),
+            static_cast<std::uint64_t>(kProducerTasks + kMainTasks));
+#endif
+}
+
+TEST(ParallelFor, ShardedCounterMatchesRange) {
+  obs::Counter counter;
+  constexpr std::size_t kN = 50'000;
+  parallel_for(0, kN, [&counter](std::size_t) { counter.add(); }, 8);
+#ifndef AAR_OBS_OFF
+  EXPECT_EQ(counter.value(), kN);
+#endif
 }
 
 }  // namespace

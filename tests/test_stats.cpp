@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace aar::util {
@@ -148,6 +149,27 @@ TEST(Histogram, CdfIsMonotoneReachingOne) {
 TEST(Histogram, EmptyCdfIsZero) {
   Histogram h(0.0, 1.0, 2);
   EXPECT_EQ(h.cdf(1), 0.0);
+}
+
+// Regression (ISSUE 2): a NaN sample made the float->ptrdiff_t cast in add()
+// undefined and clamp's comparisons unspecified; a huge finite sample
+// likewise overflowed the integer cast.  NaN must be dropped, everything
+// else must clamp into the edge bins — in every build type, UBSan-clean.
+TEST(Histogram, NonFiniteAndHugeSamplesAreSafe) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 0u);  // dropped, not binned
+
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e300);   // finite, but bin index overflows any integer type
+  h.add(-1e300);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 4u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <random>
 
 #include "store/block_source.hpp"
 #include "store/format.hpp"
@@ -23,7 +24,14 @@ using trace::ReplyRecord;
 class StoreTest : public ::testing::Test {
  protected:
   std::string path(const char* name) {
-    return (std::filesystem::temp_directory_path() / name).string();
+    // Unique per process: each test instance is a separate ctest process,
+    // and shared fixed names let concurrent instances truncate each
+    // other's files (flaky under ctest -j).
+    static const std::string token = [] {
+      std::random_device rd;
+      return "aar_" + std::to_string(rd()) + "_";
+    }();
+    return (std::filesystem::temp_directory_path() / (token + name)).string();
   }
   void TearDown() override {
     for (const char* name : {"aar_s.aartr", "aar_s2.aartr", "aar_s.csv"}) {

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <memory>
+#include <random>
 
 #include "core/strategy.hpp"
 #include "core/trace_simulator.hpp"
@@ -64,7 +65,16 @@ class StoreReplay : public ::testing::TestWithParam<const char*> {
     std::remove(file_path().c_str());
   }
   static std::string file_path() {
-    return (std::filesystem::temp_directory_path() / "aar_replay.aartr").string();
+    // Unique per process: every parameterized instance is a separate ctest
+    // invocation of this binary, and a shared fixed name let concurrent
+    // instances truncate the file under each other (flaky under ctest -j).
+    static const std::string path = [] {
+      std::random_device rd;
+      return (std::filesystem::temp_directory_path() /
+              ("aar_replay_" + std::to_string(rd()) + ".aartr"))
+          .string();
+    }();
+    return path;
   }
   static std::vector<trace::QueryReplyPair>* pairs_;
 };

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
 
 namespace aar::util {
@@ -55,9 +56,12 @@ TEST(Table, PctFormats) {
 
 class CsvTest : public ::testing::Test {
  protected:
-  std::string path_ = (std::filesystem::temp_directory_path() /
-                       "aar_csv_test.csv")
-                          .string();
+  // Random suffix: concurrent ctest processes sharing one fixed name
+  // truncate each other's files (flaky under ctest -j).
+  std::string path_ =
+      (std::filesystem::temp_directory_path() /
+       ("aar_csv_test_" + std::to_string(std::random_device{}()) + ".csv"))
+          .string();
   void TearDown() override { std::remove(path_.c_str()); }
 
   std::string slurp() {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "trace/generator.hpp"
 
 namespace aar::core {
@@ -113,6 +115,63 @@ TEST(TraceSimulator, IncrementalIsBestOfAll) {
   const auto incremental_result = run_trace_simulation(incremental, pairs, 1'000);
   EXPECT_GT(incremental_result.avg_coverage(), sliding_result.avg_coverage());
   EXPECT_GT(incremental_result.avg_success(), sliding_result.avg_success());
+}
+
+// Regression (ISSUE 2): the bootstrap-block and >=1-test-block invariants
+// were assert-only, so a Release build fed a short or empty trace
+// bootstrapped on an empty span and returned a zero-block result without
+// complaint.  Both overloads must throw in every build type.
+TEST(TraceSimulator, EmptyTraceThrows) {
+  SlidingWindow strategy(5);
+  const std::vector<trace::QueryReplyPair> empty;
+  EXPECT_THROW(
+      (void)run_trace_simulation(strategy, empty, fast_config().block_size),
+      std::runtime_error);
+}
+
+TEST(TraceSimulator, SingleBlockTraceThrows) {
+  // One whole block: bootstrap would succeed but no test block remains.
+  const auto pairs = pairs_for_blocks(1);
+  SlidingWindow strategy(5);
+  EXPECT_THROW(
+      (void)run_trace_simulation(strategy, pairs, fast_config().block_size),
+      std::runtime_error);
+}
+
+TEST(TraceSimulator, ZeroBlockSizeThrows) {
+  const auto pairs = pairs_for_blocks(4);
+  SlidingWindow strategy(5);
+  EXPECT_THROW((void)run_trace_simulation(strategy, pairs, 0),
+               std::invalid_argument);
+}
+
+TEST(TraceSimulator, EmptyBlockSourceThrows) {
+  const std::vector<trace::QueryReplyPair> empty;
+  trace::SpanBlockSource source(empty);
+  SlidingWindow strategy(5);
+  EXPECT_THROW(
+      (void)run_trace_simulation(strategy, source, fast_config().block_size),
+      std::runtime_error);
+}
+
+TEST(TraceSimulator, BootstrapOnlyBlockSourceThrows) {
+  const auto pairs = pairs_for_blocks(1);
+  trace::SpanBlockSource source(pairs);
+  SlidingWindow strategy(5);
+  EXPECT_THROW(
+      (void)run_trace_simulation(strategy, source, fast_config().block_size),
+      std::runtime_error);
+}
+
+TEST(TraceSimulator, EvalSecondsSeriesCoversEveryTestedBlock) {
+  const auto pairs = pairs_for_blocks(6);
+  SlidingWindow strategy(5);
+  const SimulationResult result =
+      run_trace_simulation(strategy, pairs, fast_config().block_size);
+  ASSERT_EQ(result.eval_seconds.size(), result.blocks_tested);
+  for (std::size_t i = 0; i < result.eval_seconds.size(); ++i) {
+    EXPECT_GE(result.eval_seconds[i], 0.0);
+  }
 }
 
 TEST(TraceSimulator, DeterministicAcrossRuns) {

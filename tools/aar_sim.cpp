@@ -10,9 +10,9 @@
 //   aar_sim run --strategy <static|sliding|lazy|adaptive|incremental>
 //               [--trace pairs.{csv,aartr} | --blocks N] [--block-size B]
 //               [--min-support T] [--period P] [--history H] [--seed S]
-//               [--csv series.csv]
+//               [--csv series.csv] [--metrics m.json]
 //   aar_sim compare [--trace pairs.{csv,aartr} | --blocks N] [--block-size B]
-//               [--min-support T] [--seed S]
+//               [--min-support T] [--seed S] [--metrics m.json]
 //   aar_sim convert --in A --out B [--kind queries|replies|pairs] [--chunk N]
 //               (direction from extensions: *.csv <-> *.aartr)
 //   aar_sim inspect --in trace.aartr
@@ -24,14 +24,17 @@
 // Exit status: 0 on success, 2 on usage errors.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/strategy.hpp"
 #include "core/trace_simulator.hpp"
+#include "obs/registry.hpp"
 #include "store/block_source.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
@@ -70,14 +73,16 @@ int usage() {
          "  aar_sim generate --pairs N [--seed S] [--block-size B] --out F\n"
          "  aar_sim run --strategy NAME [--trace F | --blocks N]\n"
          "              [--block-size B] [--min-support T] [--period P]\n"
-         "              [--history H] [--seed S] [--csv F]\n"
+         "              [--history H] [--seed S] [--csv F] [--metrics F]\n"
          "  aar_sim compare [--trace F | --blocks N] [--block-size B]\n"
-         "              [--min-support T] [--seed S]\n"
+         "              [--min-support T] [--seed S] [--metrics F]\n"
          "  aar_sim convert --in A --out B [--kind queries|replies|pairs]\n"
          "              [--chunk N]  (*.csv <-> *.aartr by extension)\n"
          "  aar_sim inspect --in F.aartr\n"
          "strategies: static sliding lazy adaptive incremental streaming\n"
-         "traces:     *.csv loads in memory; *.aartr streams out-of-core\n";
+         "traces:     *.csv loads in memory; *.aartr streams out-of-core\n"
+         "--metrics:  write an aar.metrics.v1 JSON snapshot of the obs\n"
+         "            registry ('-' prints console tables instead)\n";
   return 2;
 }
 
@@ -139,6 +144,26 @@ std::unique_ptr<core::Strategy> make_strategy(const std::string& name,
     return std::make_unique<core::StreamingRuleset>(min_support);
   }
   return nullptr;
+}
+
+/// Honor --metrics: write the obs registry (plus any per-block series) as an
+/// aar.metrics.v1 JSON snapshot, or print console tables for "-".
+int write_metrics(const Options& options,
+                  std::span<const obs::NamedSeries> series = {}) {
+  if (!options.has("metrics")) return 0;
+  const std::string path = options.get("metrics", "");
+  if (path == "-") {
+    obs::Registry::global().print_table(std::cout);
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write metrics to " << path << "\n";
+    return 1;
+  }
+  obs::Registry::global().write_json(out, series);
+  std::cout << "metrics written to " << path << "\n";
+  return 0;
 }
 
 int cmd_generate(const Options& options) {
@@ -203,14 +228,24 @@ int cmd_run(const Options& options) {
   }
   table.print(std::cout);
   if (options.has("csv")) {
-    const std::vector<std::string> names{"coverage", "success"};
+    const std::vector<std::string> names{"coverage", "success", "eval_seconds"};
     const std::vector<std::vector<double>> columns{
         {result.coverage.values().begin(), result.coverage.values().end()},
-        {result.success.values().begin(), result.success.values().end()}};
+        {result.success.values().begin(), result.success.values().end()},
+        {result.eval_seconds.values().begin(),
+         result.eval_seconds.values().end()}};
     util::write_series_csv(options.get("csv", ""), names, columns);
     std::cout << "series written to " << options.get("csv", "") << "\n";
   }
-  return 0;
+  const std::vector<obs::NamedSeries> series{
+      {"coverage",
+       {result.coverage.values().begin(), result.coverage.values().end()}},
+      {"success",
+       {result.success.values().begin(), result.success.values().end()}},
+      {"eval_seconds",
+       {result.eval_seconds.values().begin(),
+        result.eval_seconds.values().end()}}};
+  return write_metrics(options, series);
 }
 
 int cmd_compare(const Options& options) {
@@ -245,7 +280,7 @@ int cmd_compare(const Options& options) {
                util::Table::num(result.blocks_per_generation(), 2)});
   }
   table.print(std::cout);
-  return 0;
+  return write_metrics(options);
 }
 
 int cmd_convert(const Options& options) {

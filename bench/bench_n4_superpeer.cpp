@@ -101,7 +101,7 @@ int main() {
   util::CsvWriter csv(aar::bench::out_path("n4_superpeer.csv"));
   csv.header({"leaves", "super_peers", "messages"});
   std::vector<double> scaled_messages;
-  for (const std::size_t scale : {1, 2, 4, 8}) {
+  for (const std::size_t scale : {1u, 2u, 4u, 8u}) {
     SuperPeerConfig grown = sp;
     grown.leaves = 1'000 * scale;
     grown.super_peers = 32 * scale;

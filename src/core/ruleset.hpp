@@ -17,6 +17,10 @@
 #include "trace/record.hpp"
 #include "util/rng.hpp"
 
+namespace aar::mining {
+class IncrementalRuleMiner;  // the single befriended RuleSet writer
+}  // namespace aar::mining
+
 namespace aar::core {
 
 using trace::HostId;
@@ -93,6 +97,11 @@ class RuleSet {
   }
 
  private:
+  // RuleSet is immutable to every consumer; the incremental miner
+  // (src/mining/) is its one writer, updating only changed antecedents in
+  // place so snapshots avoid re-materializing the whole set.
+  friend class aar::mining::IncrementalRuleMiner;
+
   std::unordered_map<HostId, std::vector<Consequent>> rules_;
   std::size_t rule_count_ = 0;
 };

@@ -13,7 +13,12 @@ void Strategy::regenerate(Block block) {
   static obs::Timer& build_timer =
       obs::Registry::global().timer("core.ruleset_build");
   const obs::Timer::Scope scope = build_timer.measure();
-  current_ = RuleSet::build(block, min_support_);
+  // Slide the miner's window to exactly this block: counting the new pairs
+  // and retiring the previous window's is incremental work, and the snapshot
+  // re-materializes only antecedents whose counts actually changed.
+  miner_.add(block);
+  miner_.evict_to(block.size());
+  miner_.snapshot();
   ++rulesets_generated_;
 }
 
@@ -48,7 +53,7 @@ double AdaptiveSlidingWindow::success_threshold() const {
 BlockMeasures AdaptiveSlidingWindow::test_block(Block block) {
   const double ct = coverage_threshold();
   const double st = success_threshold();
-  const BlockMeasures measures = evaluate(current_, block);
+  const BlockMeasures measures = evaluate(current(), block);
 
   auto push = [this](std::vector<double>& window, double value) {
     window.push_back(value);

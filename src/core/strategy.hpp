@@ -19,6 +19,7 @@
 #include "assoc/stream.hpp"
 #include "core/measures.hpp"
 #include "core/ruleset.hpp"
+#include "mining/incremental_miner.hpp"
 
 namespace aar::core {
 
@@ -26,7 +27,8 @@ using Block = std::span<const QueryReplyPair>;
 
 class Strategy {
  public:
-  explicit Strategy(std::uint32_t min_support) : min_support_(min_support) {}
+  explicit Strategy(std::uint32_t min_support)
+      : miner_(mining::MinerConfig{.window = 0, .min_support = min_support}) {}
   virtual ~Strategy() = default;
 
   Strategy(const Strategy&) = delete;
@@ -46,17 +48,28 @@ class Strategy {
   [[nodiscard]] std::uint64_t rulesets_generated() const noexcept {
     return rulesets_generated_;
   }
-  [[nodiscard]] const RuleSet& current_ruleset() const noexcept { return current_; }
-  [[nodiscard]] std::uint32_t min_support() const noexcept { return min_support_; }
+  [[nodiscard]] const RuleSet& current_ruleset() const noexcept {
+    return miner_.ruleset();
+  }
+  [[nodiscard]] std::uint32_t min_support() const noexcept {
+    return miner_.config().min_support;
+  }
 
  protected:
-  /// Mine `block` into a fresh rule set (timed under obs "core.ruleset_build").
+  /// Refresh the rule set from `block` through the shared incremental miner:
+  /// the block's pairs slide into the miner's window (evicting the previous
+  /// window's pairs) and a snapshot materializes only the antecedents whose
+  /// counts changed.  Produces exactly RuleSet::build(block, min_support).
+  /// Timed under obs "core.ruleset_build".
   void regenerate(Block block);
 
-  RuleSet current_;
+  /// The rule set from the most recent regenerate() (empty before the first).
+  [[nodiscard]] const RuleSet& current() const noexcept {
+    return miner_.ruleset();
+  }
 
  private:
-  std::uint32_t min_support_;
+  mining::IncrementalRuleMiner miner_;
   std::uint64_t rulesets_generated_ = 0;
 };
 
@@ -66,7 +79,7 @@ class StaticRuleset final : public Strategy {
   using Strategy::Strategy;
   [[nodiscard]] std::string name() const override { return "static"; }
   BlockMeasures test_block(Block block) override {
-    return evaluate(current_, block);
+    return evaluate(current(), block);
   }
 };
 
@@ -77,7 +90,7 @@ class SlidingWindow final : public Strategy {
   using Strategy::Strategy;
   [[nodiscard]] std::string name() const override { return "sliding"; }
   BlockMeasures test_block(Block block) override {
-    const BlockMeasures measures = evaluate(current_, block);
+    const BlockMeasures measures = evaluate(current(), block);
     regenerate(block);  // becomes the rule set for block b+1
     return measures;
   }
@@ -93,7 +106,7 @@ class LazySlidingWindow final : public Strategy {
     return "lazy(" + std::to_string(period_) + ")";
   }
   BlockMeasures test_block(Block block) override {
-    const BlockMeasures measures = evaluate(current_, block);
+    const BlockMeasures measures = evaluate(current(), block);
     if (++used_ >= period_) {
       regenerate(block);
       used_ = 0;

@@ -1,0 +1,151 @@
+#pragma once
+// Open-addressing hash map for the miner's hot counting path.
+//
+// libstdc++'s unordered_map allocates a node per entry and chases a pointer
+// on every lookup; a steady-state add() against a full window performs four
+// map operations (evict: find antecedent + find consequent; add: insert
+// antecedent + insert consequent), so those constants dominate refresh cost.
+// This map keeps key/value pairs inline in one power-of-two slot array with
+// linear probing and tombstone deletion, which the BM_MinerRefresh bands in
+// bench_p1_micro measure as a large constant-factor win.
+//
+// Deliberately minimal: 32-bit keys, default-constructible mapped values,
+// for_each instead of iterators, references invalidated by any insert.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aar::mining {
+
+template <typename Value>
+class FlatCountMap {
+ public:
+  /// Value for `key`, default-constructed on first sight.  The reference is
+  /// invalidated by the next find_or_insert (the table may rehash).
+  Value& find_or_insert(std::uint32_t key) {
+    if ((occupied_ + 1) * 4 > capacity() * 3) rehash();
+    const std::size_t mask = capacity() - 1;
+    std::size_t index = spread(key) & mask;
+    std::size_t tombstone = kNone;
+    for (;; index = (index + 1) & mask) {
+      Slot& slot = slots_[index];
+      if (slot.state == kFull) {
+        if (slot.key == key) return slot.value;
+        continue;
+      }
+      if (slot.state == kTombstone) {
+        if (tombstone == kNone) tombstone = index;
+        continue;
+      }
+      break;  // empty — key is absent
+    }
+    Slot& slot = slots_[tombstone != kNone ? tombstone : index];
+    if (slot.state == kEmpty) ++occupied_;  // reused tombstones stay counted
+    slot.key = key;
+    slot.state = kFull;
+    slot.value = Value{};
+    ++size_;
+    return slot.value;
+  }
+
+  [[nodiscard]] Value* find(std::uint32_t key) noexcept {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = capacity() - 1;
+    for (std::size_t index = spread(key) & mask;;
+         index = (index + 1) & mask) {
+      Slot& slot = slots_[index];
+      if (slot.state == kEmpty) return nullptr;
+      if (slot.state == kFull && slot.key == key) return &slot.value;
+    }
+  }
+  [[nodiscard]] const Value* find(std::uint32_t key) const noexcept {
+    return const_cast<FlatCountMap*>(this)->find(key);
+  }
+
+  /// Remove `key` if present; returns whether it was.
+  bool erase(std::uint32_t key) noexcept {
+    if (size_ == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    for (std::size_t index = spread(key) & mask;;
+         index = (index + 1) & mask) {
+      Slot& slot = slots_[index];
+      if (slot.state == kEmpty) return false;
+      if (slot.state == kFull && slot.key == key) {
+        slot.state = kTombstone;
+        slot.value = Value{};  // release any memory the value owns
+        --size_;
+        return true;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() noexcept {
+    slots_.clear();
+    size_ = 0;
+    occupied_ = 0;
+  }
+
+  /// Visit every (key, value) pair, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& slot : slots_) {
+      if (slot.state == kFull) fn(slot.key, slot.value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.state == kFull) fn(slot.key, slot.value);
+    }
+  }
+
+ private:
+  enum State : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Slot {
+    std::uint32_t key = 0;
+    State state = kEmpty;
+    Value value{};
+  };
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Fibonacci spread of the key into the upper bits, so the low `mask`
+  /// bits of the result are well mixed even for sequential host ids.
+  static std::size_t spread(std::uint32_t key) noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> 32);
+  }
+
+  /// Re-seat every live entry.  Doubles when the live load justifies it,
+  /// otherwise rebuilds at the same capacity to shed tombstones.
+  void rehash() {
+    const std::size_t grown =
+        (size_ + 1) * 2 > capacity() ? capacity() * 2 : capacity();
+    std::vector<Slot> fresh(std::max<std::size_t>(16, grown));
+    const std::size_t mask = fresh.size() - 1;
+    for (Slot& slot : slots_) {
+      if (slot.state != kFull) continue;
+      std::size_t index = spread(slot.key) & mask;
+      while (fresh[index].state == kFull) index = (index + 1) & mask;
+      fresh[index].key = slot.key;
+      fresh[index].state = kFull;
+      fresh[index].value = std::move(slot.value);
+    }
+    slots_ = std::move(fresh);
+    occupied_ = size_;
+  }
+
+  std::vector<Slot> slots_;   // capacity always zero or a power of two
+  std::size_t size_ = 0;      // full slots
+  std::size_t occupied_ = 0;  // full + tombstone slots (probe-chain load)
+};
+
+}  // namespace aar::mining

@@ -1,0 +1,149 @@
+#include "mining/incremental_miner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/registry.hpp"
+
+namespace aar::mining {
+
+// ------------------------------------------------------------------ PairRing
+
+void PairRing::push_back(const QueryReplyPair& pair) {
+  if (count_ == slots_.size()) grow();
+  slots_[(head_ + count_) & (slots_.size() - 1)] = pair;
+  ++count_;
+}
+
+void PairRing::pop_front() noexcept {
+  assert(count_ > 0);
+  head_ = (head_ + 1) & (slots_.size() - 1);
+  --count_;
+}
+
+void PairRing::grow() {
+  const std::size_t capacity = std::max<std::size_t>(16, slots_.size() * 2);
+  std::vector<QueryReplyPair> fresh(capacity);
+  for (std::size_t i = 0; i < count_; ++i) fresh[i] = at(i);
+  slots_ = std::move(fresh);
+  head_ = 0;
+}
+
+// -------------------------------------------------------- IncrementalRuleMiner
+
+IncrementalRuleMiner::IncrementalRuleMiner(MinerConfig config)
+    : config_(config) {
+  assert(config_.min_support >= 1);
+}
+
+void IncrementalRuleMiner::mark_dirty(HostId antecedent,
+                                      AntecedentCounts& state) {
+  if (!state.dirty) {
+    state.dirty = true;
+    dirty_.push_back(antecedent);
+  }
+}
+
+void IncrementalRuleMiner::count(const QueryReplyPair& pair) {
+  AntecedentCounts& state = counts_.find_or_insert(pair.source_host);
+  ++state.consequents.find_or_insert(pair.replying_neighbor);
+  ++state.total;
+  mark_dirty(pair.source_host, state);
+}
+
+void IncrementalRuleMiner::uncount(const QueryReplyPair& pair) {
+  AntecedentCounts* state = counts_.find(pair.source_host);
+  assert(state != nullptr);
+  // Queue before a potential erase: a fully evicted antecedent must still
+  // reach the next snapshot so its rules disappear.
+  mark_dirty(pair.source_host, *state);
+  std::uint32_t* support = state->consequents.find(pair.replying_neighbor);
+  assert(support != nullptr && *support > 0);
+  if (--*support == 0) state->consequents.erase(pair.replying_neighbor);
+  if (--state->total == 0) counts_.erase(pair.source_host);
+}
+
+void IncrementalRuleMiner::add(const QueryReplyPair& pair) {
+  if (config_.window != 0 && window_.size() >= config_.window) evict_oldest();
+  window_.push_back(pair);
+  count(pair);
+}
+
+void IncrementalRuleMiner::add(std::span<const QueryReplyPair> block) {
+  for (const QueryReplyPair& pair : block) add(pair);
+}
+
+void IncrementalRuleMiner::evict_oldest() {
+  if (window_.empty()) return;
+  uncount(window_.front());
+  window_.pop_front();
+  ++evictions_;  // obs sync happens at snapshot() — hot path stays lean
+}
+
+void IncrementalRuleMiner::evict_to(std::size_t target) {
+  while (window_.size() > target) evict_oldest();
+}
+
+void IncrementalRuleMiner::clear() {
+  // Every antecedent that had rules must vanish from the next snapshot.
+  counts_.for_each([this](HostId antecedent, AntecedentCounts& state) {
+    mark_dirty(antecedent, state);
+  });
+  counts_.clear();
+  window_.clear();
+}
+
+void IncrementalRuleMiner::rebuild_antecedent(HostId antecedent) {
+  scratch_.clear();
+  AntecedentCounts* state = counts_.find(antecedent);
+  if (state != nullptr) {
+    state->dirty = false;
+    const auto total = static_cast<double>(state->total);
+    state->consequents.for_each([&](HostId neighbor, std::uint32_t support) {
+      if (support < config_.min_support) return;  // support pruning
+      if (config_.min_confidence > 0.0) {         // confidence pruning (§VI)
+        const double confidence = static_cast<double>(support) / total;
+        if (confidence + 1e-12 < config_.min_confidence) return;
+      }
+      scratch_.push_back(core::Consequent{neighbor, support});
+    });
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const core::Consequent& a, const core::Consequent& b) {
+                if (a.support != b.support) return a.support > b.support;
+                return a.neighbor < b.neighbor;
+              });
+  }
+
+  const auto rit = ruleset_.rules_.find(antecedent);
+  if (scratch_.empty()) {
+    if (rit != ruleset_.rules_.end()) {
+      ruleset_.rule_count_ -= rit->second.size();
+      ruleset_.rules_.erase(rit);
+    }
+    return;
+  }
+  if (rit != ruleset_.rules_.end()) {
+    ruleset_.rule_count_ += scratch_.size() - rit->second.size();
+    rit->second.assign(scratch_.begin(), scratch_.end());
+  } else {
+    ruleset_.rules_.emplace(antecedent, scratch_);
+    ruleset_.rule_count_ += scratch_.size();
+  }
+}
+
+const core::RuleSet& IncrementalRuleMiner::snapshot() {
+  auto& registry = obs::Registry::global();
+  static obs::Timer& snapshot_timer = registry.timer("mining.snapshot");
+  static obs::Gauge& antecedent_gauge = registry.gauge("mining.antecedents");
+  static obs::Counter& evicted = registry.counter("mining.evictions");
+  const obs::Timer::Scope scope = snapshot_timer.measure();
+  for (const HostId antecedent : dirty_) rebuild_antecedent(antecedent);
+  dirty_.clear();
+  ++snapshots_;
+  antecedent_gauge.set(static_cast<double>(counts_.size()));
+  evicted.add(evictions_ - evictions_reported_);
+  evictions_reported_ = evictions_;
+  return ruleset_;
+}
+
+}  // namespace aar::mining

@@ -1,0 +1,167 @@
+#pragma once
+// Incremental windowed association-rule mining (paper Section VI, pointer to
+// data-stream mining [18]).
+//
+// Before this layer existed every rule-set refresh was a from-scratch
+// core::RuleSet::build over the full window, duplicated in two places:
+// core::Strategy::regenerate re-mined all pairs of a block, and
+// overlay::AssociationRoutingPolicy materialized its observation deque into a
+// temporary vector per rebuild — at every adopting node.  IncrementalRuleMiner
+// replaces both with one engine that maintains (antecedent -> consequent ->
+// support) counts under add()/evict() over a ring-buffer window and exposes a
+// cheap snapshot():
+//
+//   * add(pair) appends the pair to the window (evicting the oldest pair
+//     first when a bounded window is full) and bumps its counts;
+//   * evict_oldest()/evict_to() retire pairs in FIFO order, decrementing the
+//     same counts — a count reaching zero disappears entirely;
+//   * snapshot() re-materializes ONLY the antecedents whose counts changed
+//     since the previous snapshot ("dirty" antecedents) into an internal
+//     core::RuleSet and returns a reference to it.
+//
+// The produced rule set is always exactly RuleSet::build(live window,
+// min_support, min_confidence) — the differential property tests in
+// tests/test_mining.cpp enforce byte-identical save() output — but a refresh
+// after S new pairs costs O(S + dirty antecedents·log) instead of O(window).
+//
+// RuleSet itself stays immutable to every consumer (covers/matches/top_k,
+// ForwarderConfig, the measures code): the miner is its single befriended
+// writer, and callers only ever see `const RuleSet&`.
+//
+// Instrumented with aar::obs: `mining.snapshot` timer, `mining.evictions`
+// counter, `mining.antecedents` gauge (distinct antecedents in the window).
+// The eviction counter is synced at snapshot() time, keeping the per-pair
+// hot path free of registry traffic.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ruleset.hpp"
+#include "mining/flat_map.hpp"
+#include "trace/record.hpp"
+
+namespace aar::mining {
+
+using trace::HostId;
+using trace::QueryReplyPair;
+
+struct MinerConfig {
+  /// Pairs retained in the sliding window; 0 = unbounded (caller evicts
+  /// manually with evict_oldest()/evict_to()).
+  std::size_t window = 0;
+  /// Support-pruning threshold, as in RuleSet::build.  >= 1.
+  std::uint32_t min_support = 10;
+  /// Confidence-pruning threshold, as in RuleSet::build.  0 disables.
+  double min_confidence = 0.0;
+};
+
+/// Growable FIFO ring buffer of pairs — the miner's window storage.  Unlike
+/// std::deque it keeps one contiguous power-of-two allocation, so steady-state
+/// add/evict never touches the allocator.
+class PairRing {
+ public:
+  void push_back(const QueryReplyPair& pair);
+  void pop_front() noexcept;
+  [[nodiscard]] const QueryReplyPair& front() const noexcept {
+    return slots_[head_];
+  }
+  /// i-th oldest pair, 0 <= i < size() (tests and window dumps).
+  [[nodiscard]] const QueryReplyPair& at(std::size_t i) const noexcept {
+    return slots_[(head_ + i) & (slots_.size() - 1)];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  void clear() noexcept { head_ = 0, count_ = 0; }
+
+ private:
+  void grow();
+
+  std::vector<QueryReplyPair> slots_;  // capacity always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+class IncrementalRuleMiner {
+ public:
+  explicit IncrementalRuleMiner(MinerConfig config = {});
+
+  /// Append a pair to the window and count it.  A bounded window that is
+  /// already full evicts its oldest pair first.
+  void add(const QueryReplyPair& pair);
+  /// Count every pair of `block` (bulk add).
+  void add(std::span<const QueryReplyPair> block);
+
+  /// Retire the oldest pair (no-op on an empty window).
+  void evict_oldest();
+  /// Retire oldest pairs until at most `target` remain.
+  void evict_to(std::size_t target);
+  /// Drop the whole window and all counts; the next snapshot() is empty.
+  void clear();
+
+  /// Materialize every antecedent whose counts changed since the last
+  /// snapshot into the internal rule set and return it.  Equivalent to
+  /// RuleSet::build over the live window, at a cost proportional to the
+  /// churn since the previous snapshot.
+  const core::RuleSet& snapshot();
+
+  /// The rule set produced by the most recent snapshot() — NOT the live
+  /// counts.  Callers route against this between snapshots.
+  [[nodiscard]] const core::RuleSet& ruleset() const noexcept {
+    return ruleset_;
+  }
+
+  [[nodiscard]] const MinerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t window_size() const noexcept {
+    return window_.size();
+  }
+  /// i-th oldest pair of the live window (diagnostics; aar_sim rules).
+  [[nodiscard]] const QueryReplyPair& window_pair(std::size_t i) const noexcept {
+    return window_.at(i);
+  }
+  /// Distinct antecedents currently in the window (counted, not yet pruned).
+  [[nodiscard]] std::size_t distinct_antecedents() const noexcept {
+    return counts_.size();
+  }
+  /// Antecedents queued for rebuild at the next snapshot (may rarely count
+  /// one twice — see dirty_ below).
+  [[nodiscard]] std::size_t dirty_antecedents() const noexcept {
+    return dirty_.size();
+  }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] std::uint64_t snapshots_taken() const noexcept {
+    return snapshots_;
+  }
+
+ private:
+  /// Live support counts for one antecedent: consequent -> count plus the
+  /// antecedent's total (the confidence denominator, which counts *all* of
+  /// the source's pairs, pruned or not — exactly like RuleSet::build).
+  struct AntecedentCounts {
+    FlatCountMap<std::uint32_t> consequents;
+    std::uint32_t total = 0;
+    bool dirty = false;  ///< already queued in dirty_ for the next snapshot
+  };
+
+  void count(const QueryReplyPair& pair);
+  void uncount(const QueryReplyPair& pair);
+  void mark_dirty(HostId antecedent, AntecedentCounts& state);
+  void rebuild_antecedent(HostId antecedent);
+
+  MinerConfig config_;
+  PairRing window_;
+  FlatCountMap<AntecedentCounts> counts_;
+  /// Antecedents queued for rebuild.  The in-struct `dirty` flag keeps the
+  /// hot counting path to one hash lookup; an antecedent fully evicted and
+  /// then re-added between snapshots can appear twice (rebuild is
+  /// idempotent, so that only costs a redundant rebuild).
+  std::vector<HostId> dirty_;
+  core::RuleSet ruleset_;                  // last snapshot, updated in place
+  std::vector<core::Consequent> scratch_;  // reused per-antecedent rebuild
+  std::uint64_t evictions_ = 0;
+  std::uint64_t evictions_reported_ = 0;   // synced to obs at snapshot()
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace aar::mining

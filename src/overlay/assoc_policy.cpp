@@ -13,7 +13,8 @@ bool AssociationRoutingPolicy::route(const Query& query, NodeId self,
   (void)query;
   // Antecedent: the neighbor the query came from; a node's own queries use
   // its own id (they are "received from self").
-  const core::ForwardDecision decision = forwarder_.decide(rules_, from, rng);
+  const core::ForwardDecision decision =
+      forwarder_.decide(miner_.ruleset(), from, rng);
   if (decision.rule_routed()) {
     // Consequents were neighbors when learned, but links may have churned;
     // forward only to current neighbors, never back where it came from.
@@ -39,23 +40,19 @@ bool AssociationRoutingPolicy::route(const Query& query, NodeId self,
 void AssociationRoutingPolicy::on_reply_path(const Query& query, NodeId self,
                                              NodeId upstream, NodeId downstream) {
   (void)self;
-  log_.push_back(trace::QueryReplyPair{
+  // The miner's bounded ring buffer IS the sliding window: the observation
+  // slides in (evicting the oldest beyond config_.window) and only the
+  // touched antecedents' counts move.  No per-rebuild materialization.
+  miner_.add(trace::QueryReplyPair{
       .time = 0.0,
       .guid = query.guid,
       .source_host = upstream,
       .replying_neighbor = downstream,
   });
-  while (log_.size() > config_.window) log_.pop_front();
-  ++observations_since_rebuild_;
-  maybe_rebuild();
-}
-
-void AssociationRoutingPolicy::maybe_rebuild() {
-  if (observations_since_rebuild_ < config_.rebuild_every) return;
-  observations_since_rebuild_ = 0;
-  // The deque is the sliding window; materialize it for the miner.
-  std::vector<trace::QueryReplyPair> window(log_.begin(), log_.end());
-  rules_ = core::RuleSet::build(window, config_.min_support);
+  if (++observations_since_rebuild_ >= config_.rebuild_every) {
+    observations_since_rebuild_ = 0;
+    miner_.snapshot();
+  }
 }
 
 }  // namespace aar::overlay

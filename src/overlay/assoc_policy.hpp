@@ -3,18 +3,20 @@
 // the overlay simulator.
 //
 // Each adopting node observes the (antecedent, consequent) pairs that reply
-// paths reveal (on_reply_path), keeps a sliding log of them, and periodically
-// mines a core::RuleSet.  Incoming queries from a neighbor with a matching
-// antecedent are forwarded only to the top-k consequents; everything else is
-// flooded.  A query the origin rule-routes that finds nothing is retried by
-// flooding (wants_flood_fallback), so result quality does not collapse — the
-// paper's Section III-B deployment story.
+// paths reveal (on_reply_path), counts them in a per-node incremental miner
+// whose ring-buffer window is the node's sliding "block", and refreshes its
+// core::RuleSet snapshot every `rebuild_every` observations.  Incoming
+// queries from a neighbor with a matching antecedent are forwarded only to
+// the top-k consequents; everything else is flooded.  A query the origin
+// rule-routes that finds nothing is retried by flooding
+// (wants_flood_fallback), so result quality does not collapse — the paper's
+// Section III-B deployment story.
 
 #include <cstdint>
-#include <deque>
 
 #include "core/forwarder.hpp"
 #include "core/ruleset.hpp"
+#include "mining/incremental_miner.hpp"
 #include "overlay/policy.hpp"
 
 namespace aar::overlay {
@@ -34,7 +36,10 @@ struct AssociationPolicyConfig {
 class AssociationRoutingPolicy final : public RoutingPolicy {
  public:
   explicit AssociationRoutingPolicy(AssociationPolicyConfig config = {})
-      : config_(config), forwarder_(config.forwarder) {}
+      : config_(config),
+        forwarder_(config.forwarder),
+        miner_(mining::MinerConfig{.window = config.window,
+                                   .min_support = config.min_support}) {}
 
   [[nodiscard]] std::string name() const override { return "association"; }
   [[nodiscard]] bool wants_flood_fallback() const override { return true; }
@@ -46,17 +51,22 @@ class AssociationRoutingPolicy final : public RoutingPolicy {
   void on_reply_path(const Query& query, NodeId self, NodeId upstream,
                      NodeId downstream) override;
 
-  [[nodiscard]] const core::RuleSet& rules() const noexcept { return rules_; }
+  /// The rule set of the most recent snapshot (refreshed every
+  /// `rebuild_every` observations) — what route() forwards against.
+  [[nodiscard]] const core::RuleSet& rules() const noexcept {
+    return miner_.ruleset();
+  }
+  /// The node's miner (window/eviction/snapshot stats; tests).
+  [[nodiscard]] const mining::IncrementalRuleMiner& miner() const noexcept {
+    return miner_;
+  }
   [[nodiscard]] std::uint64_t rule_hits() const noexcept { return rule_hits_; }
   [[nodiscard]] std::uint64_t floods() const noexcept { return floods_; }
 
  private:
-  void maybe_rebuild();
-
   AssociationPolicyConfig config_;
   core::Forwarder forwarder_;
-  core::RuleSet rules_;
-  std::deque<trace::QueryReplyPair> log_;
+  mining::IncrementalRuleMiner miner_;
   std::size_t observations_since_rebuild_ = 0;
   std::uint64_t rule_hits_ = 0;
   std::uint64_t floods_ = 0;

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace aar::util {
 
@@ -34,6 +35,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -47,7 +53,12 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;
@@ -72,15 +83,23 @@ void parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunk = (count + threads - 1) / threads;
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   for (std::size_t t = 0; t < threads; ++t) {
     const std::size_t lo = begin + t * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    workers.emplace_back([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+    workers.emplace_back([lo, hi, &body, &error_mutex, &first_error] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
     });
   }
   for (auto& worker : workers) worker.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace aar::util

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,10 +27,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task.  Tasks must not throw; exceptions terminate.
+  /// Enqueue a task.  A task that throws does not take the process down:
+  /// the first exception is captured and rethrown from the next wait();
+  /// later exceptions (until that wait()) are swallowed.  Queued tasks keep
+  /// running either way.
   void submit(std::function<void()> task);
 
-  /// Block until every queued and running task has finished.
+  /// Block until every queued and running task has finished, then rethrow
+  /// the first exception any task raised since the previous wait() (the
+  /// captured exception is cleared, so the pool stays usable).
   void wait();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
@@ -44,11 +50,14 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr first_error_;  ///< first task exception, pending rethrow
 };
 
 /// Run body(i) for i in [begin, end) across `threads` workers with static
 /// chunking.  body must be thread-safe across distinct indices.  Runs inline
-/// when the range is small or only one worker is available.
+/// when the range is small or only one worker is available.  If any body
+/// call throws, the full range still completes apart from the throwing
+/// chunk's remainder, and the first exception is rethrown to the caller.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);

@@ -26,7 +26,11 @@ TEST(ObsCounter, SingleThreadedSum) {
   EXPECT_EQ(c.value(), 0u);
   c.add();
   c.add(41);
+#ifndef AAR_OBS_OFF
   EXPECT_EQ(c.value(), 42u);
+#else
+  EXPECT_EQ(c.value(), 0u);  // mutators compile to no-ops
+#endif
   c.reset();
   EXPECT_EQ(c.value(), 0u);
 }
@@ -43,14 +47,18 @@ TEST(ObsCounter, ShardedBumpsFromManyThreadsSumExactly) {
     });
   }
   for (std::thread& t : threads) t.join();
+#ifndef AAR_OBS_OFF
   EXPECT_EQ(c.value(), kThreads * kBumps);
+#endif
 }
 
 TEST(ObsCounter, BumpsFromParallelForWorkers) {
   Counter c;
   constexpr std::size_t kRange = 100'000;
   util::parallel_for(0, kRange, [&c](std::size_t) { c.add(); }, 4);
+#ifndef AAR_OBS_OFF
   EXPECT_EQ(c.value(), kRange);
+#endif
 }
 
 TEST(ObsGauge, TracksValueAndMax) {
@@ -60,8 +68,10 @@ TEST(ObsGauge, TracksValueAndMax) {
   g.set(3.0);
   g.set(7.5);
   g.set(2.0);
+#ifndef AAR_OBS_OFF
   EXPECT_EQ(g.value(), 2.0);
   EXPECT_EQ(g.max(), 7.5);
+#endif
   g.reset();
   EXPECT_EQ(g.value(), 0.0);
   EXPECT_EQ(g.max(), 0.0);
@@ -75,10 +85,14 @@ TEST(ObsHistogram, BinsClampAndNaNIsDropped) {
   h.observe(1e300);
   h.observe(std::numeric_limits<double>::infinity());
   h.observe(std::numeric_limits<double>::quiet_NaN());
+#ifndef AAR_OBS_OFF
   EXPECT_EQ(h.total(), 5u);
   EXPECT_EQ(h.dropped(), 1u);
   EXPECT_EQ(h.count(0), 2u);  // 0.5 and the clamped -100
   EXPECT_EQ(h.count(4), 3u);  // 9.9, 1e300, +inf
+#else
+  EXPECT_EQ(h.total(), 0u);
+#endif
 }
 
 TEST(ObsTimer, RecordsCountTotalMinMax) {
@@ -86,10 +100,14 @@ TEST(ObsTimer, RecordsCountTotalMinMax) {
   t.record_ns(100);
   t.record_ns(300);
   t.record_ns(200);
+#ifndef AAR_OBS_OFF
   EXPECT_EQ(t.count(), 3u);
   EXPECT_EQ(t.total_ns(), 600u);
   EXPECT_EQ(t.min_ns(), 100u);
   EXPECT_EQ(t.max_ns(), 300u);
+#else
+  EXPECT_EQ(t.count(), 0u);
+#endif
 }
 
 TEST(ObsTimer, ScopeMeasuresSomething) {
@@ -131,7 +149,9 @@ TEST(ObsRegistry, ResetZeroesInPlaceWithoutInvalidatingReferences) {
   registry.reset();
   EXPECT_EQ(c.value(), 0u);
   c.add(2);
+#ifndef AAR_OBS_OFF
   EXPECT_EQ(registry.counter("test.registry.reset").value(), 2u);
+#endif
 }
 
 TEST(ObsRegistry, JsonSnapshotHasSchemaAndSections) {

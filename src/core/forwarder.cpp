@@ -6,15 +6,16 @@
 namespace aar::core {
 
 ForwardDecision Forwarder::decide(const RuleSet& rules, HostId source,
-                                  util::Rng& rng) const {
+                                  util::Rng& rng, std::size_t extra_k) const {
   ForwardDecision decision;
   if (!rules.covers(source)) {
     decision.flood = true;
     return decision;
   }
+  const std::size_t k = config_.k + extra_k;
   decision.targets = config_.mode == SelectionMode::kTopK
-                         ? rules.top_k(source, config_.k)
-                         : rules.random_k(source, config_.k, rng);
+                         ? rules.top_k(source, k)
+                         : rules.random_k(source, k, rng);
   decision.flood = decision.targets.empty();
   return decision;
 }

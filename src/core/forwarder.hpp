@@ -36,9 +36,12 @@ class Forwarder {
   explicit Forwarder(ForwarderConfig config = {}) : config_(config) {}
 
   /// Decide for a query received from `source`.  When the rule set has no
-  /// antecedent for `source`, the decision is to flood.
+  /// antecedent for `source`, the decision is to flood.  `extra_k` widens
+  /// the fan-out beyond the configured k (retry-ladder degradation:
+  /// rule-route, then widened top-k, then flood).
   [[nodiscard]] ForwardDecision decide(const RuleSet& rules, HostId source,
-                                       util::Rng& rng) const;
+                                       util::Rng& rng,
+                                       std::size_t extra_k = 0) const;
 
   [[nodiscard]] const ForwarderConfig& config() const noexcept { return config_; }
 

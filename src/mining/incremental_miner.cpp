@@ -84,6 +84,32 @@ void IncrementalRuleMiner::evict_to(std::size_t target) {
   while (window_.size() > target) evict_oldest();
 }
 
+std::size_t IncrementalRuleMiner::purge_host(HostId host) {
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const QueryReplyPair& pair = window_.at(i);
+    if (pair.source_host == host || pair.replying_neighbor == host) ++touched;
+  }
+  if (touched == 0) return 0;
+  // Rebuild the window without the host's pairs.  Purges happen on churn
+  // epochs, not per message, so the O(window) rebuild is fine; re-adding
+  // marks the surviving antecedents dirty so the next snapshot is exact.
+  std::vector<QueryReplyPair> survivors;
+  survivors.reserve(window_.size() - touched);
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    const QueryReplyPair& pair = window_.at(i);
+    if (pair.source_host != host && pair.replying_neighbor != host) {
+      survivors.push_back(pair);
+    }
+  }
+  clear();
+  for (const QueryReplyPair& pair : survivors) {
+    window_.push_back(pair);
+    count(pair);
+  }
+  return touched;
+}
+
 void IncrementalRuleMiner::clear() {
   // Every antecedent that had rules must vanish from the next snapshot.
   counts_.for_each([this](HostId antecedent, AntecedentCounts& state) {

@@ -100,6 +100,12 @@ class IncrementalRuleMiner {
   /// Drop the whole window and all counts; the next snapshot() is empty.
   void clear();
 
+  /// Remove every window pair that names `host` as antecedent or consequent
+  /// (the peer departed — its rules route to a dead NodeId) and returns how
+  /// many pairs were purged.  Take a snapshot() afterwards to drop the
+  /// host's rules from the routed-against set.
+  std::size_t purge_host(HostId host);
+
   /// Materialize every antecedent whose counts changed since the last
   /// snapshot into the internal rule set and return it.  Equivalent to
   /// RuleSet::build over the live window, at a cost proportional to the

@@ -120,8 +120,8 @@ class ObjectWriter {
 
 }  // namespace
 
-void Registry::write_json(std::ostream& os,
-                          std::span<const NamedSeries> series) const {
+void Registry::write_json(std::ostream& os, std::span<const NamedSeries> series,
+                          bool include_timers) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   ObjectWriter root(os);
   root.field("schema", [&] { os << "\"aar.metrics.v1\""; });
@@ -149,6 +149,10 @@ void Registry::write_json(std::ostream& os,
 
   root.field("timers", [&] {
     ObjectWriter obj(os);
+    if (!include_timers) {
+      obj.close();
+      return;
+    }
     for (const auto& [name, t] : timers_) {
       obj.field(name, [&] {
         ObjectWriter fields(os);

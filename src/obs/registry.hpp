@@ -52,8 +52,11 @@ class Registry {
   /// Write one "aar.metrics.v1" JSON object.  `series` lets the caller
   /// attach per-block arrays (written under "series").  Locale-independent
   /// number formatting; keys sorted, so output is deterministic.
-  void write_json(std::ostream& os,
-                  std::span<const NamedSeries> series = {}) const;
+  /// `include_timers = false` writes an empty "timers" object — timers
+  /// record wall-clock time, the one non-deterministic thing in a snapshot,
+  /// so replay-identity checks (seeded fault goldens) exclude them.
+  void write_json(std::ostream& os, std::span<const NamedSeries> series = {},
+                  bool include_timers = true) const;
 
   /// Human-readable summary tables (counters / gauges / timers / histograms).
   void print_table(std::ostream& os) const;

@@ -10,11 +10,12 @@ bool AssociationRoutingPolicy::route(const Query& query, NodeId self,
                                      std::span<const NodeId> neighbors,
                                      util::Rng& rng,
                                      std::vector<NodeId>& out) {
-  (void)query;
   // Antecedent: the neighbor the query came from; a node's own queries use
-  // its own id (they are "received from self").
+  // its own id (they are "received from self").  A retried query widens the
+  // top-k fan-out (query.widen), trading traffic for reach before the retry
+  // ladder degrades all the way to flooding.
   const core::ForwardDecision decision =
-      forwarder_.decide(miner_.ruleset(), from, rng);
+      forwarder_.decide(miner_.ruleset(), from, rng, query.widen);
   if (decision.rule_routed()) {
     // Consequents were neighbors when learned, but links may have churned;
     // forward only to current neighbors, never back where it came from.
@@ -52,6 +53,16 @@ void AssociationRoutingPolicy::on_reply_path(const Query& query, NodeId self,
   if (++observations_since_rebuild_ >= config_.rebuild_every) {
     observations_since_rebuild_ = 0;
     miner_.snapshot();
+  }
+}
+
+void AssociationRoutingPolicy::on_peer_departed(NodeId node) {
+  // Drop every observation that names the departed peer and refresh the
+  // snapshot immediately: between churn and the next rebuild the policy
+  // must not keep routing to a NodeId that now belongs to a fresh peer.
+  if (miner_.purge_host(node) > 0) {
+    miner_.snapshot();
+    observations_since_rebuild_ = 0;
   }
 }
 

@@ -51,6 +51,10 @@ class AssociationRoutingPolicy final : public RoutingPolicy {
   void on_reply_path(const Query& query, NodeId self, NodeId upstream,
                      NodeId downstream) override;
 
+  /// Churn: purge every observation naming the departed peer so stale rules
+  /// stop routing to a NodeId now occupied by a different peer.
+  void on_peer_departed(NodeId node) override;
+
   /// The rule set of the most recent snapshot (refreshed every
   /// `rebuild_every` observations) — what route() forwards against.
   [[nodiscard]] const core::RuleSet& rules() const noexcept {

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
+#include <limits>
+#include <queue>
 
 #include "obs/registry.hpp"
 
 namespace aar::overlay {
 
 namespace {
+
+constexpr std::uint64_t kNoBudget = std::numeric_limits<std::uint64_t>::max();
 
 /// Fold one finished search into the process-wide overlay counters.  Bound
 /// once, bumped once per search — nothing obs-related runs per message.
@@ -21,6 +24,12 @@ void record_search(const SearchOutcome& outcome) {
   static obs::Counter& probes = registry.counter("overlay.probe_messages");
   static obs::Counter& fallbacks = registry.counter("overlay.flood_fallbacks");
   static obs::Counter& rule_routed = registry.counter("overlay.rule_routed");
+  static obs::Counter& retry_attempts = registry.counter("overlay.retry.attempts");
+  static obs::Counter& retry_timeouts = registry.counter("overlay.retry.timeouts");
+  static obs::Counter& retry_degraded =
+      registry.counter("overlay.retry.degraded_floods");
+  static obs::Counter& retry_backoff =
+      registry.counter("overlay.retry.backoff_stamps");
   searches.add(1);
   if (outcome.hit) hits.add(1);
   queries.add(outcome.query_messages);
@@ -28,6 +37,14 @@ void record_search(const SearchOutcome& outcome) {
   probes.add(outcome.probe_messages);
   if (outcome.used_fallback) fallbacks.add(1);
   if (outcome.rule_routed) rule_routed.add(1);
+  if (outcome.retries_used > 0) {
+    retry_attempts.add(outcome.retries_used);
+    if (!outcome.retry_stamps.empty()) {
+      retry_backoff.add(outcome.retry_stamps.back());
+    }
+  }
+  if (outcome.timed_out) retry_timeouts.add(1);
+  if (outcome.degraded_to_flood) retry_degraded.add(1);
 }
 
 }  // namespace
@@ -85,6 +102,14 @@ void Network::replace_peer(NodeId node, std::size_t attach) {
   peers_[node].store.populate(catalogue_, peers_[node].profile,
                               config_.files_per_node, rng_);
   policies_[node] = factory_(node);
+  // Every other node's learned state about the departed peer — mined rule
+  // consequents, shortcut entries — names a NodeId that now belongs to a
+  // stranger.  Tell the policies so they purge instead of routing to it.
+  for (NodeId other = 0; other < peers_.size(); ++other) {
+    if (other != node) policies_[other]->on_peer_departed(node);
+  }
+  // The replacement joins healthy regardless of its predecessor's state.
+  if (faults_ != nullptr) faults_->on_peer_replaced(node);
 }
 
 void Network::churn(std::size_t count, std::size_t attach) {
@@ -115,38 +140,54 @@ void Network::next_stamp() {
   }
 }
 
-std::uint64_t Network::deliver_reply(const Query& query, NodeId server) {
+Network::ReplyResult Network::deliver_reply(const Query& query, NodeId server) {
   // Gnutella routes QueryHits back along the reverse query path using the
   // per-node GUID routing tables; parent_ is exactly that table for the
   // current query.  Every node on the path observes the (antecedent,
-  // consequent) pair and lets its policy learn from it.
-  std::uint64_t messages = 0;
+  // consequent) pair and lets its policy learn from it — unless the reply
+  // is lost mid-path, in which case the nodes past the loss (and the
+  // origin) never see it.
+  ReplyResult result;
   NodeId downstream = server;
   NodeId node = parent_[server];
   while (downstream != query.origin) {
     assert(node != kNoNode);
-    ++messages;  // downstream -> node
+    ++result.messages;  // downstream -> node
+    if (faults_ != nullptr && faults_->reply_lost(downstream, node)) {
+      ++result.dropped;
+      result.delivered = false;
+      return result;
+    }
     const NodeId upstream = node == query.origin ? node : parent_[node];
     policies_[node]->on_reply_path(query, node, upstream, downstream);
     downstream = node;
     node = upstream;
   }
-  return messages;
+  return result;
 }
 
 Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
-                                        std::uint32_t ttl, bool force_flood) {
+                                        std::uint32_t ttl, bool force_flood,
+                                        std::uint64_t budget) {
   next_stamp();
   PassOutcome pass;
 
   struct InFlight {
+    std::uint64_t time;  ///< arrival stamp (pass-relative)
+    std::uint64_t seq;   ///< send order — the tie-break that keeps the
+                         ///< zero-delay schedule identical to FIFO BFS
     NodeId node;
     NodeId from;
     std::uint32_t depth;
     std::uint32_t ttl;
   };
-  std::deque<InFlight> frontier;
-  frontier.push_back({origin, origin, 0, ttl});
+  const auto later = [](const InFlight& a, const InFlight& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  };
+  std::priority_queue<InFlight, std::vector<InFlight>, decltype(later)>
+      frontier(later);
+  std::uint64_t seq = 0;
+  frontier.push({0, seq++, origin, origin, 0, ttl});
   std::size_t frontier_peak = 1;
 
   FloodingPolicy flood;
@@ -155,8 +196,9 @@ Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
   bool any_directed = false;
 
   while (!frontier.empty()) {
-    const InFlight msg = frontier.front();
-    frontier.pop_front();
+    const InFlight msg = frontier.top();
+    frontier.pop();
+    pass.elapsed = std::max(pass.elapsed, msg.time);
 
     RoutingPolicy& policy = force_flood ? static_cast<RoutingPolicy&>(flood)
                                         : *policies_[msg.node];
@@ -165,17 +207,25 @@ Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
       seen_stamp_[msg.node] = stamp_;
       parent_[msg.node] = msg.from;
       ++pass.nodes_reached;
-      if (peers_[msg.node].store.has(query.target) &&
+      // Free riders forward but never answer; crashed peers never even
+      // receive (their messages were dropped in transit below).
+      const bool answers =
+          faults_ == nullptr || faults_->shares_content(msg.node);
+      if (answers && peers_[msg.node].store.has(query.target) &&
           hit_stamp_[msg.node] != stamp_) {
         hit_stamp_[msg.node] = stamp_;
         ++pass.replicas_found;
-        if (!pass.hit) {
+        bool delivered = true;
+        if (msg.node != origin) {
+          const ReplyResult reply = deliver_reply(query, msg.node);
+          pass.reply_messages += reply.messages;
+          pass.dropped += reply.dropped;
+          delivered = reply.delivered;
+        }
+        if (delivered && !pass.hit) {
           pass.hit = true;
           pass.hops_to_first_hit = msg.depth;
           pass.first_server = msg.node;
-        }
-        if (msg.node != origin) {
-          pass.reply_messages += deliver_reply(query, msg.node);
         }
       }
     } else if (!policy.allows_revisit()) {
@@ -196,7 +246,27 @@ Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
     for (NodeId target : targets) {
       if (target == msg.node) continue;
       ++pass.query_messages;
-      frontier.push_back({target, msg.node, msg.depth + 1, msg.ttl - 1});
+      std::uint64_t arrival = msg.time + 1;
+      if (faults_ != nullptr) {
+        const fault::ForwardVerdict verdict =
+            faults_->on_forward(msg.node, target);
+        if (verdict.dropped) {
+          ++pass.dropped;
+          continue;  // sent, lost in transit
+        }
+        arrival += verdict.delay;
+        if (verdict.duplicated && arrival <= budget) {
+          ++pass.query_messages;  // the duplicate is a real extra message
+          frontier.push(
+              {arrival, seq++, target, msg.node, msg.depth + 1, msg.ttl - 1});
+        }
+      }
+      if (arrival > budget) {
+        pass.truncated = true;  // still in flight when the budget runs out
+        continue;
+      }
+      frontier.push(
+          {arrival, seq++, target, msg.node, msg.depth + 1, msg.ttl - 1});
     }
     frontier_peak = std::max(frontier_peak, frontier.size());
   }
@@ -212,6 +282,8 @@ SearchOutcome Network::search(NodeId origin, workload::FileId target,
                               const SearchOptions& options) {
   assert(origin < peers_.size());
   const std::uint32_t ttl = options.ttl != 0 ? options.ttl : config_.default_ttl;
+  ++search_clock_;
+  if (faults_ != nullptr) faults_->begin_search(search_clock_);
 
   Query query;
   query.guid = next_guid_++;
@@ -221,12 +293,22 @@ SearchOutcome Network::search(NodeId origin, workload::FileId target,
 
   SearchOutcome outcome;
 
+  // A crashed origin issues nothing (its user is gone too); the workload
+  // drivers still count the search so success rates reflect the outage.
+  if (faults_ != nullptr && faults_->crashed(origin)) {
+    record_search(outcome);
+    return outcome;
+  }
+
   // Phase A: direct shortcut probes, if the origin's policy keeps any.
   std::vector<NodeId> probes;
   policies_[origin]->probe_candidates(query, origin, probes);
   for (NodeId candidate : probes) {
     outcome.probe_messages += 2;  // request + response
     if (candidate < peers_.size() && peers_[candidate].store.has(target)) {
+      if (faults_ != nullptr && faults_->probe_lost(origin, candidate)) {
+        continue;  // unanswered: crashed/free-riding/severed peer or loss
+      }
       outcome.hit = true;
       outcome.hops_to_first_hit = 1;
       outcome.replicas_found = 1;
@@ -240,6 +322,7 @@ SearchOutcome Network::search(NodeId origin, workload::FileId target,
   auto merge = [&outcome](const PassOutcome& pass) {
     outcome.query_messages += pass.query_messages;
     outcome.reply_messages += pass.reply_messages;
+    outcome.dropped_messages += pass.dropped;
     outcome.nodes_reached = std::max(outcome.nodes_reached, pass.nodes_reached);
     if (pass.hit && !outcome.hit) {
       outcome.hit = true;
@@ -248,38 +331,114 @@ SearchOutcome Network::search(NodeId origin, workload::FileId target,
     outcome.replicas_found = std::max(outcome.replicas_found, pass.replicas_found);
   };
 
+  const std::uint64_t timeout =
+      options.timeout_stamps == 0 ? kNoBudget : options.timeout_stamps;
+  std::uint64_t now = 0;  ///< virtual stamps consumed so far
+  bool budget_exhausted = false;
   NodeId server = kNoNode;
+
   if (options.mode == SearchMode::kExpandingRing) {
     // Lv et al.: successively larger flooding rings until something answers.
     std::uint32_t ring = 1;
     for (;;) {
-      const PassOutcome pass = propagate(query, origin, ring, /*force_flood=*/true);
+      const PassOutcome pass = propagate(query, origin, ring,
+                                         /*force_flood=*/true,
+                                         timeout == kNoBudget
+                                             ? kNoBudget
+                                             : timeout - now);
       merge(pass);
+      now += pass.elapsed;
       if (pass.hit) {
         server = pass.first_server;
+        break;
+      }
+      if (pass.truncated || now >= timeout) {
+        budget_exhausted = true;
         break;
       }
       if (ring >= ttl) break;
       ring = std::min(ttl, ring * 2);
     }
-  } else {
-    const PassOutcome pass = propagate(query, origin, ttl, /*force_flood=*/false);
+  } else if (options.max_retries == 0) {
+    // Classic single-pass search with the paper's flood-on-miss escape
+    // hatch — byte-compatible with the pre-fault simulator.
+    const PassOutcome pass =
+        propagate(query, origin, ttl, /*force_flood=*/false, timeout);
     merge(pass);
+    now += pass.elapsed;
     outcome.rule_routed = pass.origin_rule_routed && pass.query_messages > 0;
     server = pass.first_server;
+    budget_exhausted = pass.truncated;
     // Retry by flooding when the query missed and *any* node narrowed its
     // propagation (a pure flood that missed has already seen everything —
     // retrying it cannot help).
     const bool fallback_wanted =
         options.flood_fallback || policies_[origin]->wants_flood_fallback();
-    if (!pass.hit && fallback_wanted && pass.any_rule_routed) {
-      const PassOutcome retry = propagate(query, origin, ttl, /*force_flood=*/true);
+    if (!pass.hit && fallback_wanted && pass.any_rule_routed &&
+        !budget_exhausted) {
+      const PassOutcome retry =
+          propagate(query, origin, ttl, /*force_flood=*/true,
+                    timeout == kNoBudget ? kNoBudget : timeout - now);
       merge(retry);
+      now += retry.elapsed;
       outcome.used_fallback = true;
       server = retry.first_server;
+      budget_exhausted = retry.truncated;
+    }
+  } else {
+    // Retry ladder: primary policy pass, widened top-k re-probes with
+    // exponential backoff and jitter, then one final forced flood.
+    const std::uint32_t attempts = 1 + options.max_retries;
+    for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        std::uint64_t backoff =
+            std::max<std::uint64_t>(1, std::uint64_t{options.backoff_base}
+                                           << (attempt - 1));
+        if (options.backoff_jitter > 0) {
+          // Jitter draws from the fault rng when installed so the overlay's
+          // own topology/workload stream stays untouched.
+          util::Rng& jitter_rng = faults_ != nullptr ? faults_->rng() : rng_;
+          backoff += jitter_rng.below(std::uint64_t{options.backoff_jitter} + 1);
+        }
+        if (now + backoff >= timeout) {
+          // The deadline passes mid-backoff: the search ends AT the budget,
+          // never past it (elapsed_stamps <= timeout_stamps is an invariant
+          // the property tests hold us to).
+          now = timeout;
+          budget_exhausted = true;
+          break;
+        }
+        now += backoff;
+        outcome.retry_stamps.push_back(now);
+        ++outcome.retries_used;
+      }
+      const bool final_flood = attempt > 0 && attempt + 1 == attempts;
+      query.widen = final_flood ? 0 : attempt * options.widen_per_retry;
+      const PassOutcome pass =
+          propagate(query, origin, ttl, final_flood,
+                    timeout == kNoBudget ? kNoBudget : timeout - now);
+      merge(pass);
+      now += pass.elapsed;
+      if (attempt == 0) {
+        outcome.rule_routed = pass.origin_rule_routed && pass.query_messages > 0;
+      }
+      if (final_flood) {
+        outcome.degraded_to_flood = true;
+        outcome.used_fallback = true;
+      }
+      if (pass.hit) {
+        server = pass.first_server;
+        break;
+      }
+      if (pass.truncated || now >= timeout) {
+        budget_exhausted = true;
+        break;
+      }
     }
   }
 
+  outcome.elapsed_stamps = now;
+  outcome.timed_out = !outcome.hit && budget_exhausted;
   policies_[origin]->on_search_result(query, origin, outcome.hit, server);
   record_search(outcome);
   return outcome;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "overlay/graph.hpp"
 #include "overlay/policy.hpp"
 #include "util/rng.hpp"
@@ -45,6 +46,28 @@ struct SearchOptions {
   SearchMode mode = SearchMode::kSingle;
   /// Force flood-on-miss regardless of the policy's preference.
   bool flood_fallback = false;
+
+  // --- robustness under faults (docs/FAULTS.md) -------------------------
+  // With the defaults below (no timeout, no retries) search behaves exactly
+  // as it always has; the knobs only engage when set.
+
+  /// Stamp budget for the whole search (propagation delays plus backoff
+  /// between retries).  Messages that would arrive after the budget are
+  /// lost to the timeout; a search that exhausts it without a delivered
+  /// reply reports `timed_out`.  0 = unlimited.
+  std::uint32_t timeout_stamps = 0;
+  /// Extra attempts after the primary pass.  The ladder degrades gracefully:
+  /// primary (rule-routed) pass, then widened top-k passes, then one final
+  /// forced flood (`degraded_to_flood`).
+  std::uint32_t max_retries = 0;
+  /// Stamps waited before the first retry; doubles per retry (exponential
+  /// backoff, clamped to at least 1 so retry stamps strictly increase).
+  std::uint32_t backoff_base = 2;
+  /// Max extra backoff stamps per retry, sampled uniformly (jittered
+  /// re-probe).  0 = deterministic backoff.
+  std::uint32_t backoff_jitter = 0;
+  /// Top-k widening added per retry attempt (Query::widen).
+  std::uint32_t widen_per_retry = 1;
 };
 
 struct SearchOutcome {
@@ -57,6 +80,15 @@ struct SearchOutcome {
   std::uint64_t probe_messages = 0;      ///< shortcut request/response pairs
   bool used_fallback = false;            ///< a flooding retry ran
   bool rule_routed = false;              ///< primary pass was policy-directed
+
+  // --- robustness outcomes ----------------------------------------------
+  bool timed_out = false;          ///< budget exhausted before a hit (⇒ !hit)
+  bool degraded_to_flood = false;  ///< the retry ladder's final flood ran
+  std::uint32_t retries_used = 0;  ///< retry attempts actually launched
+  std::uint64_t elapsed_stamps = 0;  ///< virtual stamps the search consumed
+  std::uint64_t dropped_messages = 0;  ///< messages lost to injected faults
+  /// Virtual stamp at which each retry launched (strictly increasing).
+  std::vector<std::uint64_t> retry_stamps;
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {
     return query_messages + reply_messages + probe_messages;
@@ -94,6 +126,15 @@ class Network {
   /// Replace `count` uniformly random peers (one churn epoch).
   void churn(std::size_t count, std::size_t attach);
 
+  /// Install a fault injector the simulator consults at every message hop
+  /// and peer touch (null uninstalls).  A FaultPlan::none() injector with an
+  /// empty schedule is bit-for-bit equivalent to no injector at all — it
+  /// never draws from its rng and never changes a verdict.
+  void install_faults(std::unique_ptr<fault::FaultInjector> injector) {
+    faults_ = std::move(injector);
+  }
+  [[nodiscard]] fault::FaultInjector* faults() noexcept { return faults_.get(); }
+
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
   [[nodiscard]] const Peer& peer(NodeId node) const { return peers_[node]; }
   [[nodiscard]] RoutingPolicy& policy(NodeId node) { return *policies_[node]; }
@@ -117,15 +158,29 @@ class Network {
     bool origin_rule_routed = false;  ///< the origin's own decision was directed
     bool any_rule_routed = false;     ///< some node narrowed the propagation
     NodeId first_server = kNoNode;
+    std::uint64_t elapsed = 0;    ///< largest arrival stamp processed
+    std::uint64_t dropped = 0;    ///< messages lost to injected faults
+    bool truncated = false;       ///< messages undelivered past the budget
   };
 
-  /// One propagation pass.  `force_flood` ignores policies and floods.
+  struct ReplyResult {
+    std::uint64_t messages = 0;
+    std::uint64_t dropped = 0;
+    bool delivered = true;  ///< the reply reached the origin
+  };
+
+  /// One propagation pass.  `force_flood` ignores policies and floods;
+  /// `budget` is the largest arrival stamp still delivered (relative to the
+  /// pass start).  Messages are delivered in arrival-stamp order — without
+  /// fault delays that order IS the old FIFO BFS order, bit for bit.
   PassOutcome propagate(const Query& query, NodeId origin, std::uint32_t ttl,
-                        bool force_flood);
+                        bool force_flood, std::uint64_t budget);
 
   /// Route a reply from `server` back to the origin along the parent chain,
-  /// invoking on_reply_path at every node on the way.
-  std::uint64_t deliver_reply(const Query& query, NodeId server);
+  /// invoking on_reply_path at every node on the way.  Under faults the
+  /// reply can be lost mid-path; nodes past the loss learn nothing and the
+  /// origin never sees the hit.
+  ReplyResult deliver_reply(const Query& query, NodeId server);
 
   void next_stamp();
 
@@ -143,6 +198,11 @@ class Network {
   std::vector<NodeId> parent_;
   std::uint32_t stamp_ = 0;
   trace::Guid next_guid_ = 1;
+
+  // Fault layer: consulted at every hop when installed; search_clock_ drives
+  // the FaultSchedule (one search == one clock stamp).
+  std::unique_ptr<fault::FaultInjector> faults_;
+  std::uint64_t search_clock_ = 0;
 };
 
 }  // namespace aar::overlay

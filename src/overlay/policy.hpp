@@ -29,6 +29,10 @@ struct Query {
   workload::FileId target = workload::kNoFile;
   workload::Category category = 0;
   NodeId origin = kNoNode;
+  /// Degradation hint for retried queries: policies that narrow propagation
+  /// (rule-directed top-k) should widen their fan-out by this much.  0 on
+  /// the primary pass; set by the simulator's retry ladder.
+  std::uint32_t widen = 0;
 };
 
 class RoutingPolicy {
@@ -68,6 +72,11 @@ class RoutingPolicy {
                                 NodeId server) {
     (void)query, (void)self, (void)hit, (void)server;
   }
+
+  /// The peer at `node` departed (churn): any learned state naming it —
+  /// mined rule consequents, shortcut lists — is now stale and should be
+  /// purged.  Default: no learned state, nothing to do.
+  virtual void on_peer_departed(NodeId node) { (void)node; }
 
   /// True when a miss under this policy should be retried by flooding
   /// (the paper's "revert to flooding" escape hatch).

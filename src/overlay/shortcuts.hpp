@@ -42,6 +42,9 @@ class InterestShortcutsPolicy final : public RoutingPolicy {
   void on_search_result(const Query& query, NodeId self, bool hit,
                         NodeId server) override;
 
+  /// Churn: a departed peer's shortcut entry now points at a stranger.
+  void on_peer_departed(NodeId node) override { std::erase(shortcuts_, node); }
+
   [[nodiscard]] const std::vector<NodeId>& shortcuts() const noexcept {
     return shortcuts_;
   }

@@ -18,6 +18,7 @@
 //   aar_sim inspect --in trace.aartr
 //   aar_sim rules [--trace pairs.{csv,aartr} | --blocks N] [--window N]
 //               [--min-support T] [--min-confidence C] [--top K] [--json F]
+//   aar_sim faults --scenario F.v1 [--seed S] [--metrics m.json]
 //
 // A `.aartr` trace given to `run`/`compare` is replayed through the
 // streaming store::StoreBlockSource, so only one block plus one prefetched
@@ -28,9 +29,16 @@
 // table or JSON, cross-checking the snapshot against a batch
 // RuleSet::build of the same window.
 //
+// `faults` runs an "aar.faults.v1" scenario file (docs/FAULTS.md) through
+// the fault-injected overlay twice — once as written, once with faults
+// stripped — and prints the per-epoch degradation table plus the FNV-1a
+// fingerprint of the faulted outcome stream.  Output is a pure function of
+// (scenario, --seed); CI runs it twice and diffs (the determinism gate).
+//
 // Exit status: 0 on success, 2 on usage errors.
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -43,7 +51,9 @@
 
 #include "core/strategy.hpp"
 #include "core/trace_simulator.hpp"
+#include "fault/scenario.hpp"
 #include "mining/incremental_miner.hpp"
+#include "overlay/fault_experiment.hpp"
 #include "obs/registry.hpp"
 #include "store/block_source.hpp"
 #include "store/reader.hpp"
@@ -93,6 +103,9 @@ int usage() {
          "              [--min-support T] [--min-confidence C] [--top K]\n"
          "              [--json F]  ('-' prints JSON to stdout; --window 0\n"
          "              mines the whole trace)\n"
+         "  aar_sim faults --scenario F [--seed S] [--metrics F]\n"
+         "              (runs an aar.faults.v1 scenario faulted and\n"
+         "              lossless; deterministic output incl. outcome hash)\n"
          "strategies: static sliding lazy adaptive incremental streaming\n"
          "traces:     *.csv loads in memory; *.aartr streams out-of-core\n"
          "--metrics:  write an aar.metrics.v1 JSON snapshot of the obs\n"
@@ -468,6 +481,79 @@ int cmd_rules(const Options& options) {
   return 0;
 }
 
+int cmd_faults(const Options& options) {
+  if (!options.has("scenario")) return usage();
+  const fault::Scenario scenario =
+      fault::load_scenario(options.get("scenario", ""));
+  const auto seed = static_cast<std::uint64_t>(options.num("seed", 7));
+
+  std::cout << "scenario: " << options.get("scenario", "") << " seed: " << seed
+            << " policy: " << scenario.policy << " nodes: " << scenario.nodes
+            << " epochs: " << scenario.epochs << "\n";
+  const overlay::FaultRunResult faulted =
+      overlay::run_fault_scenario(scenario, seed, /*faulted=*/true);
+  const overlay::FaultRunResult lossless =
+      overlay::run_fault_scenario(scenario, seed, /*faulted=*/false);
+
+  // Per-epoch degradation: how far success and coverage fall from the
+  // lossless baseline under the injected fault regime.
+  util::Table table({"epoch", "success", "lossless", "delta", "coverage",
+                     "timeouts", "degraded", "retries", "dropped", "msgs"});
+  for (std::size_t e = 0; e < faulted.epochs.size(); ++e) {
+    const overlay::FaultEpochStats& f = faulted.epochs[e];
+    const overlay::FaultEpochStats& l = lossless.epochs[e];
+    table.row({std::to_string(e + 1), util::Table::num(f.success_rate(), 3),
+               util::Table::num(l.success_rate(), 3),
+               util::Table::num(f.success_rate() - l.success_rate(), 3),
+               util::Table::num(f.avg_coverage(), 1),
+               std::to_string(f.timeouts), std::to_string(f.degraded_floods),
+               std::to_string(f.retries), std::to_string(f.dropped),
+               util::Table::num(f.avg_messages(), 1)});
+  }
+  table.print(std::cout);
+
+  const double overall_f =
+      faulted.searches == 0 ? 0.0
+                            : static_cast<double>(faulted.hits) /
+                                  static_cast<double>(faulted.searches);
+  const double overall_l =
+      lossless.searches == 0 ? 0.0
+                             : static_cast<double>(lossless.hits) /
+                                   static_cast<double>(lossless.searches);
+  std::cout << "overall success: " << util::Table::num(overall_f, 4)
+            << " (lossless " << util::Table::num(overall_l, 4) << ")\n";
+
+  // Hex fingerprints of the canonical outcome streams: the CI determinism
+  // gate runs this command twice and requires identical stdout.
+  char buffer[2 * sizeof(std::uint64_t) + 1];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(faulted.outcome_hash));
+  std::cout << "outcome-hash: 0x" << buffer << "\n";
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(lossless.outcome_hash));
+  std::cout << "lossless-hash: 0x" << buffer << "\n";
+
+  if (options.has("metrics")) {
+    const std::string path = options.get("metrics", "");
+    if (path == "-") {
+      obs::Registry::global().print_table(std::cout);
+      return 0;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write metrics to " << path << "\n";
+      return 1;
+    }
+    // Timers are wall-clock — the one non-deterministic snapshot field —
+    // so the faults command always excludes them.  The notice goes to
+    // stderr so stdout stays byte-identical across same-seed runs even
+    // when the metrics path differs (the CI determinism gate diffs it).
+    obs::Registry::global().write_json(out, {}, /*include_timers=*/false);
+    std::cerr << "metrics written to " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -479,6 +565,7 @@ int main(int argc, char** argv) {
     if (options.command == "convert") return cmd_convert(options);
     if (options.command == "inspect") return cmd_inspect(options);
     if (options.command == "rules") return cmd_rules(options);
+    if (options.command == "faults") return cmd_faults(options);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

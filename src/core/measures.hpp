@@ -9,6 +9,15 @@
 // Both are needed: high ρ with low α means the rules that exist route well
 // but match few queries; high α with low ρ means many queries match rules
 // that forward to the wrong neighbor.
+//
+// Edge-case convention: both ratios are TOTAL functions, never NaN.
+//   * α ≡ 0 when N = 0 (an empty block asks no queries, so none are covered);
+//   * ρ ≡ 0 when n = 0 (no covered queries means no routing successes —
+//     0/0 is resolved pessimistically, not propagated as NaN);
+//   * a block whose every query is covered but none successful yields
+//     α = 1, ρ = 0 (the two measures are independent by construction).
+// Downstream consumers (per-block series, adaptive thresholds, metrics
+// export) rely on finite values; tests/test_measures.cpp locks this in.
 
 #include <cstdint>
 #include <span>

@@ -15,9 +15,15 @@ void Strategy::regenerate(Block block) {
   const obs::Timer::Scope scope = build_timer.measure();
   // Slide the miner's window to exactly this block: counting the new pairs
   // and retiring the previous window's is incremental work, and the snapshot
-  // re-materializes only antecedents whose counts actually changed.
-  miner_.add(block);
-  miner_.evict_to(block.size());
+  // re-materializes only antecedents whose counts actually changed.  An
+  // attached executor counts the block's shards on its pool and merges them
+  // in canonical order — same window, counts, and dirty set either way.
+  if (executor_ != nullptr) {
+    executor_->mine(miner_, block);
+  } else {
+    miner_.add(block);
+    miner_.evict_to(block.size());
+  }
   miner_.snapshot();
   ++rulesets_generated_;
 }
@@ -53,7 +59,7 @@ double AdaptiveSlidingWindow::success_threshold() const {
 BlockMeasures AdaptiveSlidingWindow::test_block(Block block) {
   const double ct = coverage_threshold();
   const double st = success_threshold();
-  const BlockMeasures measures = evaluate(current(), block);
+  const BlockMeasures measures = measure(block);
 
   auto push = [this](std::vector<double>& window, double value) {
     window.push_back(value);

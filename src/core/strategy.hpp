@@ -25,6 +25,26 @@ namespace aar::core {
 
 using Block = std::span<const QueryReplyPair>;
 
+/// Pluggable execution backend for the two block-granular bulk operations a
+/// strategy performs: evaluating a rule set against a test block and
+/// re-counting a block into the miner's window.  The default (no executor
+/// attached) runs both serially; aar::par::ShardExecutor shards the block
+/// across a thread pool and merges in canonical shard order, with the
+/// contract that results — measures, miner state, subsequent RuleSet
+/// snapshots — are bit-identical to the serial path (docs/PARALLEL.md).
+class BlockExecutor {
+ public:
+  virtual ~BlockExecutor() = default;
+
+  /// Must return exactly core::evaluate(rules, block).
+  [[nodiscard]] virtual BlockMeasures evaluate(const RuleSet& rules,
+                                               Block block) = 0;
+
+  /// Must leave `miner` exactly as miner.add(block) followed by
+  /// miner.evict_to(block.size()) would (the caller snapshots afterwards).
+  virtual void mine(mining::IncrementalRuleMiner& miner, Block block) = 0;
+};
+
 class Strategy {
  public:
   explicit Strategy(std::uint32_t min_support)
@@ -55,6 +75,15 @@ class Strategy {
     return miner_.config().min_support;
   }
 
+  /// Route this strategy's bulk block work (evaluate / re-mine) through
+  /// `executor`; nullptr restores the serial path.  The executor must
+  /// outlive its attachment — core::TraceSimulator::run_parallel attaches
+  /// for the duration of one replay and detaches before returning.
+  void attach_executor(BlockExecutor* executor) noexcept {
+    executor_ = executor;
+  }
+  [[nodiscard]] BlockExecutor* executor() const noexcept { return executor_; }
+
  protected:
   /// Refresh the rule set from `block` through the shared incremental miner:
   /// the block's pairs slide into the miner's window (evicting the previous
@@ -63,6 +92,13 @@ class Strategy {
   /// Timed under obs "core.ruleset_build".
   void regenerate(Block block);
 
+  /// Evaluate the current rule set against `block` — through the attached
+  /// executor when present, serially otherwise.  Byte-identical either way.
+  [[nodiscard]] BlockMeasures measure(Block block) {
+    return executor_ != nullptr ? executor_->evaluate(current(), block)
+                                : evaluate(current(), block);
+  }
+
   /// The rule set from the most recent regenerate() (empty before the first).
   [[nodiscard]] const RuleSet& current() const noexcept {
     return miner_.ruleset();
@@ -70,6 +106,7 @@ class Strategy {
 
  private:
   mining::IncrementalRuleMiner miner_;
+  BlockExecutor* executor_ = nullptr;
   std::uint64_t rulesets_generated_ = 0;
 };
 
@@ -78,9 +115,7 @@ class StaticRuleset final : public Strategy {
  public:
   using Strategy::Strategy;
   [[nodiscard]] std::string name() const override { return "static"; }
-  BlockMeasures test_block(Block block) override {
-    return evaluate(current(), block);
-  }
+  BlockMeasures test_block(Block block) override { return measure(block); }
 };
 
 /// SLIDING-WINDOW (III-B.4): every block b is tested against the rule set
@@ -90,7 +125,7 @@ class SlidingWindow final : public Strategy {
   using Strategy::Strategy;
   [[nodiscard]] std::string name() const override { return "sliding"; }
   BlockMeasures test_block(Block block) override {
-    const BlockMeasures measures = evaluate(current(), block);
+    const BlockMeasures measures = measure(block);
     regenerate(block);  // becomes the rule set for block b+1
     return measures;
   }
@@ -106,7 +141,7 @@ class LazySlidingWindow final : public Strategy {
     return "lazy(" + std::to_string(period_) + ")";
   }
   BlockMeasures test_block(Block block) override {
-    const BlockMeasures measures = evaluate(current(), block);
+    const BlockMeasures measures = measure(block);
     if (++used_ >= period_) {
       regenerate(block);
       used_ = 0;

@@ -1,0 +1,116 @@
+#include "par/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace aar::par {
+
+namespace {
+
+struct QueueMetrics {
+  obs::Counter& blocks_prefetched;
+  obs::Timer& queue_wait;   ///< consumer blocked on an empty queue
+  obs::Timer& queue_stall;  ///< producer blocked on a full queue
+
+  static QueueMetrics& get() {
+    static QueueMetrics metrics{
+        obs::Registry::global().counter("par.blocks_prefetched"),
+        obs::Registry::global().timer("par.queue_wait"),
+        obs::Registry::global().timer("par.queue_stall"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+PrefetchBlockSource::PrefetchBlockSource(trace::BlockSource& inner,
+                                         std::size_t block_size,
+                                         std::size_t depth)
+    : inner_(inner),
+      block_size_(block_size),
+      depth_(std::max<std::size_t>(1, depth)) {
+  if (block_size_ == 0) {
+    throw std::invalid_argument("PrefetchBlockSource: zero block size");
+  }
+  pool_.submit([this] { producer_loop(); });
+}
+
+PrefetchBlockSource::~PrefetchBlockSource() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_full_.notify_all();
+  // pool_ is the last member, so its destructor joins the producer while the
+  // queue state it touches is still alive.
+}
+
+void PrefetchBlockSource::producer_loop() {
+  try {
+    for (;;) {
+      // Decode outside the lock — this is the work being overlapped.  The
+      // span from the inner source is only valid until its next call, so
+      // the block is copied into an owned buffer before queueing.
+      const std::span<const trace::QueryReplyPair> block =
+          inner_.next_block(block_size_);
+      std::vector<trace::QueryReplyPair> owned(block.begin(), block.end());
+      const bool end_of_stream = owned.empty();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (ready_.size() >= depth_ && !stopping_) {
+          const obs::Timer::Scope stall = QueueMetrics::get().queue_stall.measure();
+          not_full_.wait(lock, [this] {
+            return stopping_ || ready_.size() < depth_;
+          });
+        }
+        if (stopping_) return;
+        if (end_of_stream) {
+          done_ = true;
+        } else {
+          ready_.push_back(std::move(owned));
+        }
+      }
+      not_empty_.notify_one();
+      if (end_of_stream) return;
+      QueueMetrics::get().blocks_prefetched.add(1);
+    }
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+      done_ = true;
+    }
+    not_empty_.notify_one();
+  }
+}
+
+std::span<const trace::QueryReplyPair> PrefetchBlockSource::next_block(
+    std::size_t block_size) {
+  if (block_size != block_size_) {
+    throw std::invalid_argument(
+        "PrefetchBlockSource: block size differs from construction");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (ready_.empty() && !done_) {
+    const obs::Timer::Scope wait = QueueMetrics::get().queue_wait.measure();
+    not_empty_.wait(lock, [this] { return !ready_.empty() || done_; });
+  }
+  if (ready_.empty()) {
+    // Drained: end of stream, or the producer died — surface its error once.
+    if (error_ != nullptr) {
+      std::rethrow_exception(std::exchange(error_, nullptr));
+    }
+    return {};
+  }
+  current_ = std::move(ready_.front());
+  ready_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return current_;
+}
+
+}  // namespace aar::par

@@ -1,0 +1,65 @@
+#pragma once
+// Bounded decode-ahead stage between a trace::BlockSource and the replay
+// loop (docs/PARALLEL.md).
+//
+// A single producer thread pulls blocks from the inner source (for a
+// store::StoreBlockSource that is the chunk decode path) and parks copies in
+// a bounded queue; the consumer's next_block() pops them in order.  Decode
+// therefore overlaps mining/eval of earlier blocks, while the depth bound
+// keeps memory at O(depth × block_size) no matter how far the producer
+// could run ahead.  Ordering — and thus every downstream result — is
+// untouched: the queue is FIFO over a single producer and single consumer.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "trace/block_source.hpp"
+#include "trace/record.hpp"
+#include "util/parallel.hpp"
+
+namespace aar::par {
+
+/// Single-producer / single-consumer block prefetcher.  The inner source is
+/// only ever touched from the producer thread, so it need not be
+/// thread-safe.  An exception thrown by the inner source is captured and
+/// rethrown from the consumer's next_block().
+class PrefetchBlockSource final : public trace::BlockSource {
+ public:
+  /// Stream blocks of `block_size` pairs from `inner`, buffering up to
+  /// `depth` decoded blocks ahead (clamped to >= 1).  Throws
+  /// std::invalid_argument for a zero block size.
+  PrefetchBlockSource(trace::BlockSource& inner, std::size_t block_size,
+                      std::size_t depth = 2);
+  ~PrefetchBlockSource() override;
+
+  /// `block_size` must equal the constructor's (the producer decodes at a
+  /// fixed granularity); throws std::invalid_argument otherwise.
+  [[nodiscard]] std::span<const trace::QueryReplyPair> next_block(
+      std::size_t block_size) override;
+
+ private:
+  void producer_loop();
+
+  trace::BlockSource& inner_;
+  const std::size_t block_size_;
+  const std::size_t depth_;
+
+  std::mutex mutex_;
+  std::condition_variable not_full_;   ///< producer waits for queue space
+  std::condition_variable not_empty_;  ///< consumer waits for a block / EOS
+  std::deque<std::vector<trace::QueryReplyPair>> ready_;
+  bool done_ = false;      ///< producer hit end-of-stream or an error
+  bool stopping_ = false;  ///< destructor is unwinding the producer
+  std::exception_ptr error_;
+
+  std::vector<trace::QueryReplyPair> current_;  ///< block handed out last
+
+  util::ThreadPool pool_{1};  ///< last member: joins before queue state dies
+};
+
+}  // namespace aar::par

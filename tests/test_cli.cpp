@@ -1,0 +1,72 @@
+// End-to-end regression tests for the aar_sim command line, driven through
+// std::system against the real binary (path injected as AAR_SIM_BINARY by
+// tests/CMakeLists.txt).
+//
+// The headline regression: unknown flags used to be SILENTLY IGNORED — the
+// parser consumed "--key value" pairs it did not recognize, so a typo like
+// `--block_size 5000` ran the command with the default block size and
+// reported success.  aar_sim must exit nonzero (2, the usage status) for
+// unknown flags, flags missing their value, and stray positional arguments.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef AAR_SIM_BINARY
+#error "tests/CMakeLists.txt must define AAR_SIM_BINARY"
+#endif
+
+/// Run aar_sim with `args`, discarding output; returns the exit status.
+int run_sim(const std::string& args) {
+  const std::string command =
+      std::string(AAR_SIM_BINARY) + " " + args + " > /dev/null 2>&1";
+  const int raw = std::system(command.c_str());
+  return WEXITSTATUS(raw);
+}
+
+TEST(CliUsage, UnknownFlagIsAHardError) {
+  EXPECT_EQ(run_sim("run --bogus 1"), 2);
+  EXPECT_EQ(run_sim("compare --block_size 5000"), 2);  // the classic typo
+  EXPECT_EQ(run_sim("generate --pairs 100 --out /tmp/x.csv --frobnicate 1"),
+            2);
+}
+
+TEST(CliUsage, FlagValidityIsPerCommand) {
+  // --strategy belongs to run, not compare; --window to rules, not run.
+  EXPECT_EQ(run_sim("compare --strategy sliding"), 2);
+  EXPECT_EQ(run_sim("run --strategy sliding --window 100"), 2);
+}
+
+TEST(CliUsage, FlagMissingItsValueIsAHardError) {
+  EXPECT_EQ(run_sim("run --strategy"), 2);
+  EXPECT_EQ(run_sim("compare --blocks 3 --seed"), 2);
+}
+
+TEST(CliUsage, StrayPositionalArgumentIsAHardError) {
+  EXPECT_EQ(run_sim("run sliding"), 2);
+  EXPECT_EQ(run_sim("run --strategy sliding extra"), 2);
+}
+
+TEST(CliUsage, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(run_sim("frobnicate"), 2);
+  EXPECT_EQ(run_sim(""), 2);
+}
+
+TEST(CliUsage, ValidInvocationsStillSucceed) {
+  EXPECT_EQ(run_sim("run --strategy sliding --blocks 3 --block-size 500"), 0);
+  // --no-timers is a boolean flag: takes no value, must not eat the next
+  // token.  --threads routes through the parallel engine.
+  EXPECT_EQ(run_sim("run --strategy sliding --blocks 3 --block-size 500 "
+                    "--no-timers --threads 2"),
+            0);
+  EXPECT_EQ(run_sim("compare --pairs 4000 --block-size 500 --threads 2"), 0);
+}
+
+TEST(CliUsage, MissingStrategyIsAUsageError) {
+  EXPECT_EQ(run_sim("run --blocks 3 --block-size 500"), 2);
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace aar::core {
@@ -115,6 +116,54 @@ TEST(Measures, ValuesAlwaysInUnitInterval) {
     EXPECT_LE(m.successful, m.covered);
     EXPECT_LE(m.covered, m.total_queries);
   }
+}
+
+// The edge-case convention documented in core/measures.hpp: both ratios are
+// total functions and never NaN, even where the mathematical definition hits
+// 0/0.  These pins are what per-block series, the adaptive thresholds, and
+// the metrics exporter rely on.
+
+TEST(Measures, EdgeCaseAlphaIsZeroNotNaNWhenNoQueries) {
+  // N = 0: α's denominator vanishes.  Convention: α ≡ 0, never NaN.
+  const BlockMeasures m = evaluate(RuleSet(), {});
+  EXPECT_EQ(m.total_queries, 0u);
+  EXPECT_FALSE(std::isnan(m.coverage()));
+  EXPECT_FALSE(std::isnan(m.success()));
+  EXPECT_DOUBLE_EQ(m.coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(m.success(), 0.0);
+}
+
+TEST(Measures, EdgeCaseRhoIsZeroNotNaNWhenNothingCovered) {
+  // N > 0 but n = 0: ρ = s/n hits 0/0.  Convention: resolve pessimistically
+  // to 0 rather than propagating NaN into series and thresholds.
+  const RuleSet rules = rules_from({pair(1, 10, 100)});
+  const std::vector<QueryReplyPair> test{pair(2, 77, 100), pair(3, 88, 100)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.total_queries, 2u);
+  EXPECT_EQ(m.covered, 0u);
+  EXPECT_FALSE(std::isnan(m.success()));
+  EXPECT_DOUBLE_EQ(m.success(), 0.0);
+}
+
+TEST(Measures, EdgeCaseCoveredButUnsuccessfulBlock) {
+  // Every query covered, none successful: α = 1, ρ = 0 — the measures are
+  // independent by construction, and neither degenerates.
+  const RuleSet rules = rules_from({pair(1, 10, 100), pair(2, 20, 200)});
+  const std::vector<QueryReplyPair> test{pair(3, 10, 999), pair(4, 20, 999)};
+  const BlockMeasures m = evaluate(rules, test);
+  EXPECT_EQ(m.total_queries, 2u);
+  EXPECT_EQ(m.covered, 2u);
+  EXPECT_EQ(m.successful, 0u);
+  EXPECT_DOUBLE_EQ(m.coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(m.success(), 0.0);
+}
+
+TEST(Measures, EdgeCaseDefaultConstructedMeasuresAreFinite) {
+  // A BlockMeasures that never saw a block (e.g. an untested slot in a
+  // pre-sized result array) still reports finite ratios.
+  const BlockMeasures m;
+  EXPECT_TRUE(std::isfinite(m.coverage()));
+  EXPECT_TRUE(std::isfinite(m.success()));
 }
 
 TEST(Measures, EmptyRuleSetCoversNothing) {

@@ -8,11 +8,13 @@
 // Usage:
 //   aar_sim generate --pairs N [--seed S] [--block-size B] --out pairs.csv
 //   aar_sim run --strategy <static|sliding|lazy|adaptive|incremental>
-//               [--trace pairs.{csv,aartr} | --blocks N] [--block-size B]
-//               [--min-support T] [--period P] [--history H] [--seed S]
-//               [--csv series.csv] [--metrics m.json]
-//   aar_sim compare [--trace pairs.{csv,aartr} | --blocks N] [--block-size B]
-//               [--min-support T] [--seed S] [--metrics m.json]
+//               [--trace pairs.{csv,aartr} | --blocks N | --pairs N]
+//               [--block-size B] [--min-support T] [--period P] [--history H]
+//               [--seed S] [--csv series.csv] [--metrics m.json]
+//               [--threads N] [--no-timers]
+//   aar_sim compare [--trace pairs.{csv,aartr} | --blocks N | --pairs N]
+//               [--block-size B] [--min-support T] [--seed S]
+//               [--metrics m.json] [--threads N] [--no-timers]
 //   aar_sim convert --in A --out B [--kind queries|replies|pairs] [--chunk N]
 //               (direction from extensions: *.csv <-> *.aartr)
 //   aar_sim inspect --in trace.aartr
@@ -35,7 +37,14 @@
 // fingerprint of the faulted outcome stream.  Output is a pure function of
 // (scenario, --seed); CI runs it twice and diffs (the determinism gate).
 //
-// Exit status: 0 on success, 2 on usage errors.
+// `run --threads N` replays through the deterministic parallel engine
+// (aar::par): results are byte-identical to the serial path for every thread
+// count (docs/PARALLEL.md).  `compare --threads N` sweeps the six strategies
+// on a thread pool.  `--no-timers` strips wall-clock data from --metrics so
+// same-input snapshots compare byte-for-byte.
+//
+// Exit status: 0 on success, 2 on usage errors — including unknown or
+// malformed flags, which are rejected rather than silently ignored.
 
 #include <algorithm>
 #include <cstdio>
@@ -46,6 +55,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +72,7 @@
 #include "trace/generator.hpp"
 #include "trace/io.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -71,6 +82,7 @@ using namespace aar;
 struct Options {
   std::string command;
   std::map<std::string, std::string> flags;
+  std::string parse_error;  ///< non-empty: malformed argv, refuse to run
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
@@ -91,11 +103,13 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  aar_sim generate --pairs N [--seed S] [--block-size B] --out F\n"
-         "  aar_sim run --strategy NAME [--trace F | --blocks N]\n"
+         "  aar_sim run --strategy NAME [--trace F | --blocks N | --pairs N]\n"
          "              [--block-size B] [--min-support T] [--period P]\n"
          "              [--history H] [--seed S] [--csv F] [--metrics F]\n"
-         "  aar_sim compare [--trace F | --blocks N] [--block-size B]\n"
-         "              [--min-support T] [--seed S] [--metrics F]\n"
+         "              [--threads N] [--no-timers]\n"
+         "  aar_sim compare [--trace F | --blocks N | --pairs N]\n"
+         "              [--block-size B] [--min-support T] [--seed S]\n"
+         "              [--metrics F] [--threads N] [--no-timers]\n"
          "  aar_sim convert --in A --out B [--kind queries|replies|pairs]\n"
          "              [--chunk N]  (*.csv <-> *.aartr by extension)\n"
          "  aar_sim inspect --in F.aartr\n"
@@ -109,7 +123,11 @@ int usage() {
          "strategies: static sliding lazy adaptive incremental streaming\n"
          "traces:     *.csv loads in memory; *.aartr streams out-of-core\n"
          "--metrics:  write an aar.metrics.v1 JSON snapshot of the obs\n"
-         "            registry ('-' prints console tables instead)\n";
+         "            registry ('-' prints console tables instead)\n"
+         "--threads:  run: deterministic parallel replay (0 = all cores);\n"
+         "            compare: sweep strategies on a thread pool\n"
+         "--no-timers: exclude wall-clock timers from --metrics output so\n"
+         "            same-input snapshots are byte-identical\n";
   return 2;
 }
 
@@ -120,18 +138,72 @@ bool has_suffix(const std::string& path, const std::string& suffix) {
 
 bool is_aartr(const std::string& path) { return has_suffix(path, ".aartr"); }
 
+/// Flags that take no value argument.
+constexpr std::string_view kBooleanFlags[] = {"no-timers"};
+
+/// Flags each subcommand accepts.  An unknown flag is a hard usage error
+/// (exit 2) — it used to be silently ignored, so a typo like --block_size
+/// ran the command with the default and nothing ever noticed.
+const std::map<std::string, std::vector<std::string>, std::less<>>
+    kAllowedFlags = {
+        {"generate", {"pairs", "seed", "block-size", "out"}},
+        {"run",
+         {"strategy", "trace", "blocks", "pairs", "block-size", "min-support",
+          "period", "history", "seed", "csv", "metrics", "threads",
+          "no-timers"}},
+        {"compare",
+         {"trace", "blocks", "pairs", "block-size", "min-support", "period",
+          "history", "seed", "metrics", "threads", "no-timers"}},
+        {"convert", {"in", "out", "kind", "chunk"}},
+        {"inspect", {"in"}},
+        {"rules",
+         {"trace", "blocks", "pairs", "seed", "block-size", "window",
+          "min-support", "min-confidence", "top", "json"}},
+        {"faults", {"scenario", "seed", "metrics"}},
+};
+
+bool is_boolean_flag(const std::string& key) {
+  return std::find(std::begin(kBooleanFlags), std::end(kBooleanFlags), key) !=
+         std::end(kBooleanFlags);
+}
+
 Options parse(int argc, char** argv) {
   Options options;
   if (argc >= 2) options.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
+  for (int i = 2; i < argc;) {
+    const std::string key = argv[i];
     if (key.rfind("--", 0) != 0) {
-      options.command.clear();  // force usage error
-      break;
+      options.parse_error = "unexpected argument '" + key + "'";
+      return options;
     }
-    options.flags[key.substr(2)] = argv[i + 1];
+    const std::string name = key.substr(2);
+    if (is_boolean_flag(name)) {
+      options.flags[name] = "";
+      i += 1;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      options.parse_error = "flag '" + key + "' needs a value";
+      return options;
+    }
+    options.flags[name] = argv[i + 1];
+    i += 2;
   }
   return options;
+}
+
+/// Reject flags the subcommand does not understand (after parse succeeded).
+/// Returns the empty string when everything checks out.
+std::string unknown_flag(const Options& options) {
+  const auto it = kAllowedFlags.find(options.command);
+  if (it == kAllowedFlags.end()) return {};  // unknown command: usage anyway
+  for (const auto& [key, value] : options.flags) {
+    if (std::find(it->second.begin(), it->second.end(), key) ==
+        it->second.end()) {
+      return key;
+    }
+  }
+  return {};
 }
 
 std::vector<trace::QueryReplyPair> load_or_generate(const Options& options) {
@@ -145,6 +217,13 @@ std::vector<trace::QueryReplyPair> load_or_generate(const Options& options) {
   config.seed = static_cast<std::uint64_t>(options.num("seed", 42));
   config.block_size =
       static_cast<std::uint32_t>(options.num("block-size", 10'000));
+  // --pairs is an exact pair target; --blocks counts test blocks (one extra
+  // bootstrap block is generated on top).
+  if (options.has("pairs")) {
+    trace::TraceGenerator generator(config);
+    return generator.generate_pairs(
+        static_cast<std::size_t>(options.num("pairs", 0)));
+  }
   const auto blocks = static_cast<std::size_t>(options.num("blocks", 80));
   trace::TraceGenerator generator(config);
   return generator.generate_pairs((blocks + 1) * config.block_size);
@@ -175,6 +254,9 @@ std::unique_ptr<core::Strategy> make_strategy(const std::string& name,
 
 /// Honor --metrics: write the obs registry (plus any per-block series) as an
 /// aar.metrics.v1 JSON snapshot, or print console tables for "-".
+/// With --no-timers the snapshot excludes timers — wall-clock is the one
+/// non-deterministic thing in it — which is what the CI thread-count
+/// determinism gate byte-compares (docs/PARALLEL.md).
 int write_metrics(const Options& options,
                   std::span<const obs::NamedSeries> series = {}) {
   if (!options.has("metrics")) return 0;
@@ -188,7 +270,8 @@ int write_metrics(const Options& options,
     std::cerr << "cannot write metrics to " << path << "\n";
     return 1;
   }
-  obs::Registry::global().write_json(out, series);
+  obs::Registry::global().write_json(out, series,
+                                     /*include_timers=*/!options.has("no-timers"));
   std::cout << "metrics written to " << path << "\n";
   return 0;
 }
@@ -222,6 +305,13 @@ int cmd_run(const Options& options) {
   if (strategy == nullptr) return usage();
   const auto block_size =
       static_cast<std::size_t>(options.num("block-size", 10'000));
+  // --threads routes the replay through the deterministic parallel engine;
+  // its results are byte-identical to the serial path for any thread count
+  // (docs/PARALLEL.md), so everything below is oblivious to the choice.
+  const bool parallel = options.has("threads");
+  core::ParallelConfig par_config;
+  par_config.threads = static_cast<std::size_t>(options.num("threads", 0));
+  core::TraceSimulator simulator(*strategy, block_size);
   core::SimulationResult result;
   if (options.has("trace") && is_aartr(options.get("trace", ""))) {
     // Out-of-core path: decode chunk-by-chunk with prefetch, never holding
@@ -236,7 +326,8 @@ int cmd_run(const Options& options) {
     store::StoreBlockSource source(reader);
     std::cout << "streaming " << reader.num_records() << " pairs from " << path
               << " (" << reader.num_chunks() << " chunks)\n";
-    result = core::run_trace_simulation(*strategy, source, block_size);
+    result = parallel ? simulator.run_parallel(source, par_config)
+                      : simulator.run(source);
   } else {
     const auto pairs = load_or_generate(options);
     if (pairs.size() < 2 * block_size) {
@@ -244,7 +335,8 @@ int cmd_run(const Options& options) {
                 << " pairs for block size " << block_size << "\n";
       return 2;
     }
-    result = core::run_trace_simulation(*strategy, pairs, block_size);
+    result = parallel ? simulator.run_parallel(pairs, par_config)
+                      : simulator.run(pairs);
   }
   std::cout << result.to_string() << "\n";
   util::Table table({"block", "coverage", "success"});
@@ -264,14 +356,18 @@ int cmd_run(const Options& options) {
     util::write_series_csv(options.get("csv", ""), names, columns);
     std::cout << "series written to " << options.get("csv", "") << "\n";
   }
-  const std::vector<obs::NamedSeries> series{
+  std::vector<obs::NamedSeries> series{
       {"coverage",
        {result.coverage.values().begin(), result.coverage.values().end()}},
       {"success",
-       {result.success.values().begin(), result.success.values().end()}},
-      {"eval_seconds",
-       {result.eval_seconds.values().begin(),
-        result.eval_seconds.values().end()}}};
+       {result.success.values().begin(), result.success.values().end()}}};
+  if (!options.has("no-timers")) {
+    // The per-block timing series is wall-clock, exactly like the registry
+    // timers --no-timers strips, so the two are excluded together.
+    series.push_back({"eval_seconds",
+                      {result.eval_seconds.values().begin(),
+                       result.eval_seconds.values().end()}});
+  }
   return write_metrics(options, series);
 }
 
@@ -289,18 +385,35 @@ int cmd_compare(const Options& options) {
   } else {
     pairs = load_or_generate(options);
   }
-  util::Table table({"strategy", "avg coverage", "avg success", "rule sets",
-                     "blocks/regen"});
-  for (const std::string name : {"static", "sliding", "lazy", "adaptive",
-                                 "incremental", "streaming"}) {
-    std::unique_ptr<core::Strategy> strategy = make_strategy(name, options);
-    core::SimulationResult result;
+  const std::vector<std::string> names{"static",   "sliding",     "lazy",
+                                       "adaptive", "incremental", "streaming"};
+  std::vector<core::SimulationResult> results(names.size());
+  auto sweep_one = [&](std::size_t i) {
+    std::unique_ptr<core::Strategy> strategy = make_strategy(names[i], options);
     if (streamed) {
       store::StoreBlockSource source(*reader);  // fresh pass over the file
-      result = core::run_trace_simulation(*strategy, source, block_size);
+      results[i] = core::run_trace_simulation(*strategy, source, block_size);
     } else {
-      result = core::run_trace_simulation(*strategy, pairs, block_size);
+      results[i] = core::run_trace_simulation(*strategy, pairs, block_size);
     }
+  };
+  if (options.has("threads")) {
+    // Sweep-level parallelism: the strategies are independent replays over a
+    // shared immutable trace, so they run as pool tasks.  Results are
+    // collected per slot and printed in the fixed strategy order, keeping
+    // stdout identical to the sequential sweep.  (The store::Reader is safe
+    // for concurrent passes — each decode opens its own file handle.)
+    util::ThreadPool pool(static_cast<std::size_t>(options.num("threads", 0)));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      pool.submit([&sweep_one, i] { sweep_one(i); });
+    }
+    pool.wait();
+  } else {
+    for (std::size_t i = 0; i < names.size(); ++i) sweep_one(i);
+  }
+  util::Table table({"strategy", "avg coverage", "avg success", "rule sets",
+                     "blocks/regen"});
+  for (const core::SimulationResult& result : results) {
     table.row({result.strategy, util::Table::num(result.avg_coverage(), 3),
                util::Table::num(result.avg_success(), 3),
                std::to_string(result.rulesets_generated),
@@ -558,6 +671,15 @@ int cmd_faults(const Options& options) {
 
 int main(int argc, char** argv) {
   const Options options = parse(argc, argv);
+  if (!options.parse_error.empty()) {
+    std::cerr << "aar_sim: " << options.parse_error << "\n";
+    return usage();
+  }
+  if (const std::string flag = unknown_flag(options); !flag.empty()) {
+    std::cerr << "aar_sim: unknown flag '--" << flag << "' for '"
+              << options.command << "'\n";
+    return usage();
+  }
   try {
     if (options.command == "generate") return cmd_generate(options);
     if (options.command == "run") return cmd_run(options);

@@ -10,6 +10,7 @@
 
 #include <iostream>
 #include <memory>
+#include <string_view>
 
 #include "bench_common.hpp"
 #include "overlay/assoc_policy.hpp"
@@ -45,24 +46,41 @@ ChurnRun run_with_churn(Network& network, std::size_t epochs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: reduced-population mode for CI — same structure (churn epochs,
+  // fault grid), ~10x less work, acceptance rows informational only (the
+  // bands are calibrated for the full populations).
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      std::cerr << "bench_n6_churn: unknown argument '" << argv[i]
+                << "' (only --smoke is accepted)\n";
+      return 2;
+    }
+  }
+
   aar::bench::PerfRecord perf("n6_churn");
-  bench::print_header("N6", "learned routing under overlay churn");
+  bench::print_header("N6", smoke
+                                ? "learned routing under overlay churn (smoke)"
+                                : "learned routing under overlay churn");
 
   ExperimentConfig config;
   config.seed = 47;
-  config.nodes = 1'000;
-  constexpr std::size_t kEpochs = 8;
-  constexpr std::size_t kQueriesPerEpoch = 1'500;
+  config.nodes = smoke ? 300 : 1'000;
+  const std::size_t kEpochs = smoke ? 4 : 8;
+  const std::size_t kQueriesPerEpoch = smoke ? 300 : 1'500;
   // 10% of peers replaced between epochs — aggressive but Gnutella-era real.
-  constexpr std::size_t kChurnPerEpoch = 100;
+  const std::size_t kChurnPerEpoch = config.nodes / 10;
+  const std::size_t kWarmup = smoke ? 800 : 3'000;
 
   // Association routing: learns continuously.
   Network assoc_net = make_network(config, [](NodeId) {
     return std::make_unique<AssociationRoutingPolicy>();
   });
   util::Rng assoc_rng(config.seed + 2);
-  run_queries(assoc_net, 3'000, {}, assoc_rng, nullptr);  // warm-up
+  run_queries(assoc_net, kWarmup, {}, assoc_rng, nullptr);  // warm-up
   const ChurnRun assoc = run_with_churn(assoc_net, kEpochs, kQueriesPerEpoch,
                                         kChurnPerEpoch, assoc_rng);
 
@@ -76,7 +94,7 @@ int main() {
         n, std::make_unique<RoutingIndicesPolicy>(table, RoutingIndicesConfig{}));
   }
   util::Rng ri_rng(config.seed + 2);
-  run_queries(ri_net, 3'000, {}, ri_rng, nullptr);
+  run_queries(ri_net, kWarmup, {}, ri_rng, nullptr);
   // Churn must not replace RI policies with flooding (the construction
   // factory), or staleness would be masked: re-pin RI after each epoch.
   ChurnRun ri;
@@ -98,7 +116,7 @@ int main() {
   Network flood_net = make_network(
       config, [](NodeId) { return std::make_unique<FloodingPolicy>(); });
   util::Rng flood_rng(config.seed + 2);
-  run_queries(flood_net, 3'000, {}, flood_rng, nullptr);
+  run_queries(flood_net, kWarmup, {}, flood_rng, nullptr);
   const ChurnRun flooding = run_with_churn(flood_net, kEpochs, kQueriesPerEpoch,
                                            kChurnPerEpoch, flood_rng);
 
@@ -132,7 +150,11 @@ int main() {
   // axes together: per-message drop probability x fraction of peers crashed
   // at start, association policy with the retry ladder enabled.  The
   // (0, 0) cell is the lossless baseline the other cells degrade from.
-  constexpr double kDropGrid[] = {0.0, 0.05, 0.2};
+  // Smoke keeps the first two drop rows — enough for the acceptance row
+  // ([2] vs [0] below) while halving the most expensive cells.
+  const std::vector<double> kDropGrid =
+      smoke ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.05, 0.2};
   constexpr std::size_t kCrashDenGrid[] = {0, 10};  // 0 = none, 10 = every 10th
   util::Table fault_table({"drop", "crashed", "success", "coverage", "timeouts",
                            "degraded", "retries", "msgs"});
@@ -141,9 +163,9 @@ int main() {
   for (const double drop : kDropGrid) {
     for (const std::size_t crash_den : kCrashDenGrid) {
       fault::Scenario scenario;
-      scenario.nodes = 400;
-      scenario.warmup = 1'200;
-      scenario.queries = 700;
+      scenario.nodes = smoke ? 120 : 400;
+      scenario.warmup = smoke ? 200 : 1'200;
+      scenario.queries = smoke ? 120 : 700;
       scenario.epochs = 2;
       scenario.churn = 20;
       scenario.policy = "association";
@@ -229,5 +251,13 @@ int main() {
        grid_success[2] - grid_success[0],
        grid_success[2] > grid_success[0] - 0.10},
   };
-  return perf.finish(bench::print_comparison(rows));
+  const int status = bench::print_comparison(rows);
+  if (smoke) {
+    // Smoke mode exists to exercise the full code path quickly in CI; the
+    // acceptance bands are calibrated for the full populations, so a band
+    // miss at reduced scale is reported but not fatal.
+    if (status != 0) std::cout << "[smoke: bands informational only]\n";
+    return perf.finish(0);
+  }
+  return perf.finish(status);
 }

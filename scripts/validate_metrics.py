@@ -88,6 +88,29 @@ def check_series(value, path):
         check_number(v, f"{path}[{i}]", allow_null=True)
 
 
+# The sim.engine.* family (docs/SIMULATION.md) is a closed set: the engine
+# emits exactly these names, so anything else under the prefix is drift —
+# a typo'd counter or an undocumented addition.
+SIM_ENGINE_COUNTERS = {
+    "sim.engine.searches",
+    "sim.engine.rounds",
+    "sim.engine.events",
+    "sim.engine.churned",
+}
+SIM_ENGINE_TIMERS = {"sim.engine.build"}
+
+
+def check_sim_engine_family(doc, path):
+    for name in doc["counters"]:
+        if name.startswith("sim.engine.") and name not in SIM_ENGINE_COUNTERS:
+            fail(f"{path}.counters.{name}",
+                 "undocumented sim.engine.* counter (docs/SIMULATION.md)")
+    for name in doc["timers"]:
+        if name.startswith("sim.engine.") and name not in SIM_ENGINE_TIMERS:
+            fail(f"{path}.timers.{name}",
+                 "undocumented sim.engine.* timer (docs/SIMULATION.md)")
+
+
 def check_metrics(doc, path):
     check_keys(doc, path,
                ["schema", "counters", "gauges", "timers", "histograms",
@@ -100,6 +123,7 @@ def check_metrics(doc, path):
     check_str_map(doc["timers"], f"{path}.timers", check_timer)
     check_str_map(doc["histograms"], f"{path}.histograms", check_histogram)
     check_str_map(doc["series"], f"{path}.series", check_series)
+    check_sim_engine_family(doc, path)
 
 
 def check_bench(doc, path):
@@ -117,6 +141,18 @@ def check_bench(doc, path):
     check_str_map(doc["extra"], f"{path}.extra",
                   lambda v, p: check_number(v, p, allow_null=True))
     check_metrics(doc["metrics"], f"{path}.metrics")
+    if doc["id"] == "n7_scale":
+        # The scale bench drives the sharded engine with metrics on, so its
+        # record must carry the sim.engine.* family with real activity.
+        counters = doc["metrics"]["counters"]
+        missing = sorted(SIM_ENGINE_COUNTERS - set(counters))
+        if missing:
+            fail(f"{path}.metrics.counters",
+                 f"n7_scale record lacks sim.engine.* counters: "
+                 f"{', '.join(missing)}")
+        if counters["sim.engine.searches"] <= 0:
+            fail(f"{path}.metrics.counters.sim.engine.searches",
+                 "n7_scale ran no engine searches")
 
 
 def validate_file(filename):

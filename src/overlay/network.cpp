@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
 
 #include "obs/registry.hpp"
 
@@ -70,6 +69,9 @@ Network::Network(const NetworkConfig& config, Graph graph,
   seen_stamp_.assign(n, 0);
   hit_stamp_.assign(n, 0);
   parent_.assign(n, kNoNode);
+  frontier_.reserve(std::min<std::size_t>(n, 4096));
+  route_targets_.reserve(64);
+  probe_scratch_.reserve(16);
 }
 
 void Network::set_policy(NodeId node, std::unique_ptr<RoutingPolicy> policy) {
@@ -172,32 +174,31 @@ Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
   next_stamp();
   PassOutcome pass;
 
-  struct InFlight {
-    std::uint64_t time;  ///< arrival stamp (pass-relative)
-    std::uint64_t seq;   ///< send order — the tie-break that keeps the
-                         ///< zero-delay schedule identical to FIFO BFS
-    NodeId node;
-    NodeId from;
-    std::uint32_t depth;
-    std::uint32_t ttl;
-  };
+  // frontier_ is reused heap storage; the comparator is the exact strict
+  // order the old std::priority_queue used, so the pop sequence — and every
+  // downstream outcome — is unchanged.
   const auto later = [](const InFlight& a, const InFlight& b) {
     return a.time != b.time ? a.time > b.time : a.seq > b.seq;
   };
-  std::priority_queue<InFlight, std::vector<InFlight>, decltype(later)>
-      frontier(later);
+  std::vector<InFlight>& frontier = frontier_;
+  frontier.clear();
   std::uint64_t seq = 0;
-  frontier.push({0, seq++, origin, origin, 0, ttl});
+  frontier.push_back({0, seq++, origin, origin, 0, ttl});
+  const auto push = [&frontier, &later](const InFlight& msg) {
+    frontier.push_back(msg);
+    std::push_heap(frontier.begin(), frontier.end(), later);
+  };
   std::size_t frontier_peak = 1;
 
   FloodingPolicy flood;
-  std::vector<NodeId> targets;
+  std::vector<NodeId>& targets = route_targets_;
   bool origin_decision = true;
   bool any_directed = false;
 
   while (!frontier.empty()) {
-    const InFlight msg = frontier.top();
-    frontier.pop();
+    std::pop_heap(frontier.begin(), frontier.end(), later);
+    const InFlight msg = frontier.back();
+    frontier.pop_back();
     pass.elapsed = std::max(pass.elapsed, msg.time);
 
     RoutingPolicy& policy = force_flood ? static_cast<RoutingPolicy&>(flood)
@@ -257,16 +258,14 @@ Network::PassOutcome Network::propagate(const Query& query, NodeId origin,
         arrival += verdict.delay;
         if (verdict.duplicated && arrival <= budget) {
           ++pass.query_messages;  // the duplicate is a real extra message
-          frontier.push(
-              {arrival, seq++, target, msg.node, msg.depth + 1, msg.ttl - 1});
+          push({arrival, seq++, target, msg.node, msg.depth + 1, msg.ttl - 1});
         }
       }
       if (arrival > budget) {
         pass.truncated = true;  // still in flight when the budget runs out
         continue;
       }
-      frontier.push(
-          {arrival, seq++, target, msg.node, msg.depth + 1, msg.ttl - 1});
+      push({arrival, seq++, target, msg.node, msg.depth + 1, msg.ttl - 1});
     }
     frontier_peak = std::max(frontier_peak, frontier.size());
   }
@@ -301,7 +300,8 @@ SearchOutcome Network::search(NodeId origin, workload::FileId target,
   }
 
   // Phase A: direct shortcut probes, if the origin's policy keeps any.
-  std::vector<NodeId> probes;
+  std::vector<NodeId>& probes = probe_scratch_;
+  probes.clear();
   policies_[origin]->probe_candidates(query, origin, probes);
   for (NodeId candidate : probes) {
     outcome.probe_messages += 2;  // request + response

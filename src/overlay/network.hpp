@@ -169,6 +169,17 @@ class Network {
     bool delivered = true;  ///< the reply reached the origin
   };
 
+  /// One in-flight query message (propagate's frontier heap element).
+  struct InFlight {
+    std::uint64_t time;  ///< arrival stamp (pass-relative)
+    std::uint64_t seq;   ///< send order — the tie-break that keeps the
+                         ///< zero-delay schedule identical to FIFO BFS
+    NodeId node;
+    NodeId from;
+    std::uint32_t depth;
+    std::uint32_t ttl;
+  };
+
   /// One propagation pass.  `force_flood` ignores policies and floods;
   /// `budget` is the largest arrival stamp still delivered (relative to the
   /// pass start).  Messages are delivered in arrival-stamp order — without
@@ -198,6 +209,15 @@ class Network {
   std::vector<NodeId> parent_;
   std::uint32_t stamp_ = 0;
   trace::Guid next_guid_ = 1;
+
+  // Scratch buffers reused across searches so steady-state query traffic
+  // performs no frontier/target allocations.  frontier_ is binary-heap
+  // storage driven by push_heap/pop_heap with the same (time, seq) strict
+  // order std::priority_queue used — pop order, and therefore every
+  // outcome, is byte-identical (goldens enforce).
+  std::vector<InFlight> frontier_;
+  std::vector<NodeId> route_targets_;
+  std::vector<NodeId> probe_scratch_;
 
   // Fault layer: consulted at every hop when installed; search_clock_ drives
   // the FaultSchedule (one search == one clock stamp).

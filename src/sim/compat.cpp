@@ -1,0 +1,92 @@
+#include "sim/compat.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "overlay/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace aar::sim {
+
+overlay::FaultRunResult run_engine_scenario(const fault::Scenario& scenario,
+                                            std::uint64_t seed, bool faulted,
+                                            const EngineRunOptions& options) {
+  const overlay::PolicyFactory factory =
+      overlay::scenario_policy_factory(scenario.policy);
+
+  // Seeding mirrors run_fault_scenario exactly: topology from `seed`, the
+  // engine's workload rng from `seed + 1` (kLegacy build == Network's
+  // constructor stream), the query driver from `seed + 2`, the fault rng
+  // split from `seed` inside the injector.
+  util::Rng topo_rng(seed);
+  overlay::Graph graph =
+      overlay::make_barabasi_albert(scenario.nodes, scenario.attach, topo_rng);
+  EngineConfig config;
+  config.seed = seed + 1;
+  config.build = EngineConfig::Build::kLegacy;
+  config.threads = options.threads;
+  config.shards = options.shards;
+  config.engine_metrics = options.engine_metrics;
+  Engine engine(config, std::move(graph), factory);
+  if (faulted) {
+    engine.install_faults(std::make_unique<fault::FaultInjector>(
+        scenario.plan, scenario.schedule, seed, scenario.nodes));
+  }
+
+  overlay::SearchOptions search_options;
+  search_options.ttl = scenario.ttl;
+  search_options.timeout_stamps = scenario.timeout;
+  search_options.max_retries = scenario.retries;
+  search_options.backoff_base = scenario.backoff;
+  search_options.backoff_jitter = scenario.jitter;
+  search_options.widen_per_retry = scenario.widen;
+
+  util::Rng driver(seed + 2);
+  const auto run_one = [&](bool measured, overlay::FaultEpochStats* stats,
+                           overlay::FaultRunResult* result) {
+    // Same draw order as overlay::run_queries: origin, target, up to 8
+    // re-samples while the origin already stores the target.
+    const auto origin = static_cast<overlay::NodeId>(
+        driver.below(engine.num_nodes()));
+    workload::FileId target = engine.sample_target(origin);
+    for (int attempt = 0; attempt < 8 && engine.store_has(origin, target);
+         ++attempt) {
+      target = engine.sample_target(origin);
+    }
+    const overlay::SearchOutcome outcome =
+        engine.search(origin, target, search_options);
+    if (!measured) return;
+    ++stats->searches;
+    if (outcome.hit) ++stats->hits;
+    if (outcome.timed_out) ++stats->timeouts;
+    if (outcome.degraded_to_flood) ++stats->degraded_floods;
+    stats->retries += outcome.retries_used;
+    stats->dropped += outcome.dropped_messages;
+    stats->messages += outcome.total_messages();
+    stats->nodes_reached += outcome.nodes_reached;
+    overlay::append_outcome(result->outcome_bytes, outcome);
+  };
+
+  for (std::size_t i = 0; i < scenario.warmup; ++i) {
+    run_one(false, nullptr, nullptr);
+  }
+
+  overlay::FaultRunResult result;
+  result.epochs.reserve(scenario.epochs);
+  for (std::size_t epoch = 0; epoch < scenario.epochs; ++epoch) {
+    overlay::FaultEpochStats stats;
+    for (std::size_t q = 0; q < scenario.queries; ++q) {
+      run_one(true, &stats, &result);
+    }
+    result.searches += stats.searches;
+    result.hits += stats.hits;
+    result.epochs.push_back(stats);
+    if (epoch + 1 < scenario.epochs && scenario.churn > 0) {
+      engine.churn(scenario.churn, scenario.attach);
+    }
+  }
+  result.outcome_hash = overlay::fnv1a(result.outcome_bytes);
+  return result;
+}
+
+}  // namespace aar::sim

@@ -1,0 +1,34 @@
+#pragma once
+// Compatibility driver: run a fault::Scenario through aar::sim::Engine with
+// EXACTLY the seeding and draw order of overlay::run_fault_scenario, so the
+// two simulators' SearchOutcome streams can be compared byte for byte.
+// This is the proof obligation of the event engine: before the large-scale
+// path is trusted, the differential suite shows the engine reproduces the
+// legacy simulator bit-exactly (outcomes, RuleSet bytes, and overlay.*
+// metrics) on small topologies — for any thread/shard count.
+
+#include <cstdint>
+
+#include "fault/scenario.hpp"
+#include "overlay/fault_experiment.hpp"
+
+namespace aar::sim {
+
+struct EngineRunOptions {
+  std::size_t threads = 1;
+  std::size_t shards = 0;  ///< 0 = engine default
+  /// Record the sim.engine.* family.  Off by default here so a metrics
+  /// snapshot of a compat run is byte-identical to a legacy run's.
+  bool engine_metrics = false;
+};
+
+/// Engine twin of overlay::run_fault_scenario: same topology seed, same
+/// workload seed (seed + 1), same driver stream (seed + 2), same warm-up /
+/// epoch / churn structure.  With a duplicate-suppressed rng-free-route
+/// policy ("flooding", "association") the result — outcome_bytes included —
+/// is byte-identical to the legacy runner's for any `options`.
+[[nodiscard]] overlay::FaultRunResult run_engine_scenario(
+    const fault::Scenario& scenario, std::uint64_t seed, bool faulted = true,
+    const EngineRunOptions& options = {});
+
+}  // namespace aar::sim

@@ -1,0 +1,97 @@
+#pragma once
+// Typed events for the sharded discrete-event overlay engine (aar::sim).
+//
+// Two event granularities coexist:
+//
+//   * QueryEvent — one query message in flight during a propagation pass.
+//     The engine's virtual-time rounds deliver these in the canonical
+//     (time, seq) order, which is exactly the pop order of the legacy
+//     overlay::Network priority queue — the invariant behind the
+//     fingerprint-equality the compat driver proves.
+//   * SimEvent — one macro step on the search clock (a search launch or a
+//     churn epoch).  The scale driver compiles a workload into a SimEvent
+//     schedule and replays it; fault-schedule events stay inside
+//     fault::FaultSchedule and fire off the same clock.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "overlay/graph.hpp"
+
+namespace aar::sim {
+
+using overlay::NodeId;
+
+/// A query message scheduled for delivery at a virtual-time slot.  `seq` is
+/// the global send order assigned by the serial apply phase; (slot, seq)
+/// totally orders every message of a pass.
+struct QueryEvent {
+  std::uint64_t seq = 0;
+  NodeId node = overlay::kNoNode;  ///< recipient
+  NodeId from = overlay::kNoNode;  ///< sender (== node at the origin)
+  std::uint32_t depth = 0;
+  std::uint32_t ttl = 0;
+};
+
+/// What the parallel (pure per-peer) half of a round computed for one event:
+/// which flags fired and where the routed targets sit in the owning shard's
+/// emission buffer.  The serial apply phase consumes these in seq order.
+struct EventResult {
+  static constexpr std::uint8_t kFirstVisit = 1u << 0;
+  static constexpr std::uint8_t kHit = 1u << 1;       ///< answered store hit
+  static constexpr std::uint8_t kDirected = 1u << 2;  ///< selection was policy-directed
+  static constexpr std::uint8_t kRouted = 1u << 3;    ///< reached the route stage
+
+  std::uint64_t seq = 0;
+  std::uint32_t emit_offset = 0;  ///< into the shard's emission buffer
+  std::uint32_t emit_count = 0;
+  NodeId node = overlay::kNoNode;
+  std::uint32_t depth = 0;
+  std::uint32_t ttl = 0;
+  std::uint8_t flags = 0;
+};
+
+/// Per-shard event queue keyed on virtual time: a calendar of slots indexed
+/// by pass-relative arrival stamp.  The serial apply phase appends events in
+/// global seq order, so every slot is seq-sorted by construction and the
+/// parallel phase scans its shard's slot without sorting or locking.  Slot
+/// vectors keep their capacity across passes.
+class ShardQueue {
+ public:
+  /// Grow the calendar to cover stamps [0, slots).  Never shrinks.
+  void ensure(std::size_t slots) {
+    if (slots_.size() < slots) slots_.resize(slots);
+  }
+
+  void push(std::uint64_t slot, const QueryEvent& event) {
+    slots_[static_cast<std::size_t>(slot)].push_back(event);
+  }
+
+  [[nodiscard]] std::vector<QueryEvent>& at(std::uint64_t slot) {
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] const std::vector<QueryEvent>& at(std::uint64_t slot) const {
+    return slots_[static_cast<std::size_t>(slot)];
+  }
+
+  [[nodiscard]] std::size_t capacity_slots() const noexcept {
+    return slots_.size();
+  }
+
+ private:
+  std::vector<std::vector<QueryEvent>> slots_;
+};
+
+/// Macro-level typed event on the search clock.
+enum class SimEventKind : std::uint8_t {
+  kSearch,  ///< one query drawn from the workload driver
+  kChurn,   ///< replace `count` uniformly random peers
+};
+
+struct SimEvent {
+  SimEventKind kind = SimEventKind::kSearch;
+  std::uint64_t count = 0;  ///< churn: peers replaced (unused for searches)
+};
+
+}  // namespace aar::sim

@@ -1,0 +1,90 @@
+#pragma once
+// Large-population scale driver for aar::sim::Engine.
+//
+// Compiles an epoch-structured workload (warm-up, measured search epochs,
+// churn between epochs) into a typed SimEvent schedule and replays it
+// against a kSharded-built engine, with an optional fault plan (message
+// loss + initially crashed peers) active throughout.  Reports throughput
+// (peers and searches per wall second) alongside the deterministic outcome
+// fingerprint — the same run on the same seed yields the same hash for any
+// thread/shard count, which bench_n7_scale checks while gating the
+// peers-per-second bands.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+
+namespace aar::sim {
+
+struct ScaleConfig {
+  std::uint64_t seed = 7;
+  std::size_t nodes = 100'000;
+  std::size_t attach = 3;
+  std::string policy = "association";
+  std::uint32_t ttl = 4;
+  std::size_t warmup = 500;       ///< unmeasured searches before epoch 1
+  std::size_t searches = 1500;    ///< measured searches per epoch
+  std::size_t epochs = 2;
+  std::size_t churn = 50;         ///< peers replaced between epochs
+  std::uint32_t timeout = 0;      ///< stamp budget per search (0 = none)
+  std::uint32_t retries = 0;
+  double drop = 0.0;              ///< per-message loss probability
+  std::size_t crashed = 0;        ///< initially crashed peers (ids spread)
+  std::size_t threads = 1;        ///< 0 = hardware concurrency
+  std::size_t shards = 0;         ///< 0 = engine default
+  bool engine_metrics = true;
+  bool record_outcomes = false;   ///< keep outcome_bytes (hash is always set)
+  std::size_t files_per_node = 24;
+  std::size_t interest_breadth = 3;
+  workload::ContentConfig content{};
+};
+
+struct ScaleResult {
+  std::size_t nodes = 0;
+  std::uint64_t searches = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t query_messages = 0;
+  std::uint64_t reply_messages = 0;
+  std::uint64_t probe_messages = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t nodes_reached = 0;
+  std::uint64_t churned = 0;
+  std::uint64_t outcome_hash = 0;
+  std::vector<std::uint8_t> outcome_bytes;  ///< empty unless record_outcomes
+
+  double build_seconds = 0.0;   ///< topology + engine construction
+  double warmup_seconds = 0.0;
+  double run_seconds = 0.0;     ///< measured epochs (searches + churn)
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return build_seconds + warmup_seconds + run_seconds;
+  }
+  /// Simulated peers per wall second, end to end (the n7 band metric).
+  [[nodiscard]] double peers_per_second() const noexcept {
+    const double t = total_seconds();
+    return t > 0.0 ? static_cast<double>(nodes) / t : 0.0;
+  }
+  [[nodiscard]] double searches_per_second() const noexcept {
+    return run_seconds > 0.0 ? static_cast<double>(searches) / run_seconds
+                             : 0.0;
+  }
+  [[nodiscard]] double success_rate() const noexcept {
+    return searches == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(searches);
+  }
+};
+
+/// Compile `config` into its typed event schedule (searches and churn steps
+/// in clock order).  Exposed for tests.
+[[nodiscard]] std::vector<SimEvent> compile_schedule(const ScaleConfig& config);
+
+/// Build the engine and replay the schedule.  Deterministic: outcome_hash
+/// is a pure function of `config` minus threads/shards.
+[[nodiscard]] ScaleResult run_scale(const ScaleConfig& config);
+
+}  // namespace aar::sim

@@ -69,4 +69,24 @@ TEST(CliUsage, MissingStrategyIsAUsageError) {
   EXPECT_EQ(run_sim("run --blocks 3 --block-size 500"), 2);
 }
 
+TEST(CliScale, StrictFlagValidation) {
+  // Unknown flag, classic underscore typo, missing value, stray positional,
+  // flag from another subcommand — all hard usage errors (exit 2).
+  EXPECT_EQ(run_sim("scale --bogus 1"), 2);
+  EXPECT_EQ(run_sim("scale --block_size 5000"), 2);
+  EXPECT_EQ(run_sim("scale --nodes"), 2);
+  EXPECT_EQ(run_sim("scale 4000"), 2);
+  EXPECT_EQ(run_sim("scale --strategy sliding"), 2);
+  EXPECT_EQ(run_sim("scale --scenario foo.v1"), 2);
+  // Degenerate configs are rejected, not run.
+  EXPECT_EQ(run_sim("scale --nodes 1"), 2);
+  EXPECT_EQ(run_sim("scale --nodes 100 --epochs 0"), 2);
+}
+
+TEST(CliScale, SmallPopulationRunSucceeds) {
+  EXPECT_EQ(run_sim("scale --nodes 300 --warmup 10 --searches 30 --epochs 2 "
+                    "--churn 3 --threads 2 --shards 8"),
+            0);
+}
+
 }  // namespace

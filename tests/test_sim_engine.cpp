@@ -1,0 +1,189 @@
+// Unit tests for the sharded discrete-event engine itself: construction
+// invariants, schedule compilation, sharded-build determinism across
+// thread/shard counts, churn's sparse store overlay, and the scale driver.
+
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "overlay/policy.hpp"
+#include "overlay/topology.hpp"
+#include "sim/scale.hpp"
+#include "util/rng.hpp"
+
+namespace aar::sim {
+namespace {
+
+overlay::Graph small_graph(std::uint64_t seed, std::size_t nodes = 120,
+                           std::size_t attach = 3) {
+  util::Rng topo(seed);
+  return overlay::make_barabasi_albert(nodes, attach, topo);
+}
+
+overlay::PolicyFactory flooding_factory() {
+  return [](overlay::NodeId) {
+    return std::make_unique<overlay::FloodingPolicy>();
+  };
+}
+
+TEST(SimEngine, ShardAndThreadResolutionClampsToPopulation) {
+  EngineConfig config;
+  config.threads = 64;
+  config.shards = 4096;
+  Engine engine(config, small_graph(5, 40, 2), flooding_factory());
+  EXPECT_LE(engine.shards(), 40u);
+  EXPECT_LE(engine.threads(), 40u);
+  EXPECT_GE(engine.shards(), 1u);
+  EXPECT_GE(engine.threads(), 1u);
+}
+
+TEST(SimEngine, LegacyBuildMatchesShardedPopulationShape) {
+  EngineConfig legacy;
+  legacy.build = EngineConfig::Build::kLegacy;
+  Engine a(legacy, small_graph(9), flooding_factory());
+
+  EngineConfig sharded = legacy;
+  sharded.build = EngineConfig::Build::kSharded;
+  Engine b(sharded, small_graph(9), flooding_factory());
+
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (overlay::NodeId node = 0; node < a.num_nodes(); ++node) {
+    EXPECT_GT(a.store_size(node), 0u);
+    EXPECT_GT(b.store_size(node), 0u);
+  }
+}
+
+TEST(SimEngine, ShardedBuildIsThreadAndShardInvariant) {
+  // The kSharded construction path derives every peer's store from a
+  // per-peer split seed, so the resulting population must not depend on
+  // how the build work was distributed.
+  const auto fingerprint = [](std::size_t threads, std::size_t shards) {
+    EngineConfig config;
+    config.build = EngineConfig::Build::kSharded;
+    config.threads = threads;
+    config.shards = shards;
+    config.engine_metrics = false;
+    Engine engine(config, small_graph(21), flooding_factory());
+    std::uint64_t hash = 14695981039346656037ULL;
+    const auto mix = [&hash](std::uint64_t v) {
+      hash = (hash ^ v) * 1099511628211ULL;
+    };
+    for (overlay::NodeId node = 0; node < engine.num_nodes(); ++node) {
+      mix(engine.store_size(node));
+      mix(engine.sample_target(node));
+    }
+    return hash;
+  };
+  const std::uint64_t base = fingerprint(1, 1);
+  EXPECT_EQ(fingerprint(2, 8), base);
+  EXPECT_EQ(fingerprint(8, 3), base);
+}
+
+TEST(SimEngine, ChurnRebuildsStoresThroughOverlay) {
+  EngineConfig config;
+  Engine engine(config, small_graph(13), flooding_factory());
+  const overlay::NodeId victim = 7;
+  const std::size_t before = engine.store_size(victim);
+  ASSERT_GT(before, 0u);
+
+  engine.replace_peer(victim, 3);
+  // The replacement peer draws a fresh profile and store; the flat SoA is
+  // immutable, so the new store lives in the sparse overlay and must be
+  // fully visible through the public accessors.
+  const std::size_t after = engine.store_size(victim);
+  EXPECT_GT(after, 0u);
+  std::set<workload::FileId> seen;
+  for (int i = 0; i < 64; ++i) {
+    const workload::FileId file = engine.sample_target(victim);
+    if (engine.store_has(victim, file)) seen.insert(file);
+  }
+  // Searches still complete through the churned peer.
+  overlay::SearchOptions options;
+  options.ttl = 4;
+  const auto outcome = engine.search(victim, engine.sample_target(victim),
+                                     options);
+  EXPECT_GT(outcome.nodes_reached, 0u);
+}
+
+TEST(SimScale, CompileScheduleInterleavesChurnBetweenEpochs) {
+  ScaleConfig config;
+  config.epochs = 3;
+  config.searches = 4;
+  config.churn = 2;
+  const std::vector<SimEvent> schedule = compile_schedule(config);
+  ASSERT_EQ(schedule.size(), 3 * 4 + 2);
+  std::size_t searches = 0, churns = 0;
+  for (const SimEvent& event : schedule) {
+    if (event.kind == SimEventKind::kSearch) {
+      ++searches;
+    } else {
+      ++churns;
+      EXPECT_EQ(event.count, 2u);
+    }
+  }
+  EXPECT_EQ(searches, 12u);
+  EXPECT_EQ(churns, 2u);
+  // Churn never trails the final epoch.
+  EXPECT_EQ(schedule.back().kind, SimEventKind::kSearch);
+}
+
+TEST(SimScale, CompileScheduleOmitsChurnWhenDisabled) {
+  ScaleConfig config;
+  config.epochs = 2;
+  config.searches = 3;
+  config.churn = 0;
+  const std::vector<SimEvent> schedule = compile_schedule(config);
+  ASSERT_EQ(schedule.size(), 6u);
+  for (const SimEvent& event : schedule) {
+    EXPECT_EQ(event.kind, SimEventKind::kSearch);
+  }
+}
+
+TEST(SimScale, RunScaleIsDeterministicAcrossThreadsWithFaults) {
+  ScaleConfig config;
+  config.nodes = 600;
+  config.warmup = 40;
+  config.searches = 60;
+  config.epochs = 2;
+  config.churn = 5;
+  config.ttl = 4;
+  config.drop = 0.05;
+  config.crashed = 6;
+  config.engine_metrics = false;
+  config.record_outcomes = true;
+
+  config.threads = 1;
+  const ScaleResult serial = run_scale(config);
+  config.threads = 4;
+  config.shards = 16;
+  const ScaleResult parallel = run_scale(config);
+
+  EXPECT_EQ(serial.outcome_hash, parallel.outcome_hash);
+  EXPECT_EQ(serial.outcome_bytes, parallel.outcome_bytes);
+  EXPECT_EQ(serial.searches, parallel.searches);
+  EXPECT_EQ(serial.hits, parallel.hits);
+  EXPECT_EQ(serial.query_messages, parallel.query_messages);
+  EXPECT_EQ(serial.dropped, parallel.dropped);
+  EXPECT_EQ(serial.churned, parallel.churned);
+
+  EXPECT_EQ(serial.searches, 120u);
+  EXPECT_EQ(serial.churned, 5u);
+  EXPECT_GT(serial.dropped, 0u);
+  EXPECT_GT(serial.peers_per_second(), 0.0);
+  EXPECT_GT(serial.searches_per_second(), 0.0);
+  // record_outcomes keeps the byte stream for differential checks.
+  EXPECT_FALSE(serial.outcome_bytes.empty());
+
+  config.record_outcomes = false;
+  const ScaleResult slim = run_scale(config);
+  EXPECT_EQ(slim.outcome_hash, serial.outcome_hash);
+  EXPECT_TRUE(slim.outcome_bytes.empty());
+}
+
+}  // namespace
+}  // namespace aar::sim

@@ -21,6 +21,10 @@
 //   aar_sim rules [--trace pairs.{csv,aartr} | --blocks N] [--window N]
 //               [--min-support T] [--min-confidence C] [--top K] [--json F]
 //   aar_sim faults --scenario F.v1 [--seed S] [--metrics m.json]
+//   aar_sim scale [--nodes N] [--policy P] [--searches N] [--epochs N]
+//               [--churn N] [--drop R] [--crashed N] [--threads N]
+//               [--shards N] [--seed S] [--ttl T] [--warmup N]
+//               [--timeout T] [--retries R] [--attach K] [--metrics F]
 //
 // A `.aartr` trace given to `run`/`compare` is replayed through the
 // streaming store::StoreBlockSource, so only one block plus one prefetched
@@ -36,6 +40,12 @@
 // stripped — and prints the per-epoch degradation table plus the FNV-1a
 // fingerprint of the faulted outcome stream.  Output is a pure function of
 // (scenario, --seed); CI runs it twice and diffs (the determinism gate).
+//
+// `scale` drives the sharded discrete-event engine (aar::sim, see
+// docs/SIMULATION.md) over a large synthetic population with optional churn
+// and faults.  Stdout (counts + outcome fingerprint) is a pure function of
+// the config minus --threads/--shards; wall-clock timings go to stderr so
+// runs diff cleanly.
 //
 // `run --threads N` replays through the deterministic parallel engine
 // (aar::par): results are byte-identical to the serial path for every thread
@@ -65,6 +75,7 @@
 #include "mining/incremental_miner.hpp"
 #include "overlay/fault_experiment.hpp"
 #include "obs/registry.hpp"
+#include "sim/scale.hpp"
 #include "store/block_source.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
@@ -120,6 +131,13 @@ int usage() {
          "  aar_sim faults --scenario F [--seed S] [--metrics F]\n"
          "              (runs an aar.faults.v1 scenario faulted and\n"
          "              lossless; deterministic output incl. outcome hash)\n"
+         "  aar_sim scale [--nodes N] [--policy P] [--searches N]\n"
+         "              [--epochs N] [--churn N] [--drop R] [--crashed N]\n"
+         "              [--threads N] [--shards N] [--seed S] [--ttl T]\n"
+         "              [--warmup N] [--timeout T] [--retries R]\n"
+         "              [--attach K] [--metrics F]\n"
+         "              (sharded discrete-event engine; stdout is the same\n"
+         "              for every --threads/--shards, timings on stderr)\n"
          "strategies: static sliding lazy adaptive incremental streaming\n"
          "traces:     *.csv loads in memory; *.aartr streams out-of-core\n"
          "--metrics:  write an aar.metrics.v1 JSON snapshot of the obs\n"
@@ -160,6 +178,10 @@ const std::map<std::string, std::vector<std::string>, std::less<>>
          {"trace", "blocks", "pairs", "seed", "block-size", "window",
           "min-support", "min-confidence", "top", "json"}},
         {"faults", {"scenario", "seed", "metrics"}},
+        {"scale",
+         {"nodes", "policy", "searches", "epochs", "churn", "drop", "crashed",
+          "threads", "shards", "seed", "ttl", "warmup", "timeout", "retries",
+          "attach", "metrics"}},
 };
 
 bool is_boolean_flag(const std::string& key) {
@@ -667,6 +689,74 @@ int cmd_faults(const Options& options) {
   return 0;
 }
 
+int cmd_scale(const Options& options) {
+  sim::ScaleConfig config;
+  config.seed = static_cast<std::uint64_t>(options.num("seed", 7));
+  config.nodes = static_cast<std::size_t>(options.num("nodes", 100'000));
+  config.attach = static_cast<std::size_t>(options.num("attach", 3));
+  config.policy = options.get("policy", "association");
+  config.ttl = static_cast<std::uint32_t>(options.num("ttl", 4));
+  config.warmup = static_cast<std::size_t>(options.num("warmup", 500));
+  config.searches = static_cast<std::size_t>(options.num("searches", 1'500));
+  config.epochs = static_cast<std::size_t>(options.num("epochs", 2));
+  config.churn = static_cast<std::size_t>(options.num("churn", 50));
+  config.timeout = static_cast<std::uint32_t>(options.num("timeout", 0));
+  config.retries = static_cast<std::uint32_t>(options.num("retries", 0));
+  config.drop = std::strtod(options.get("drop", "0").c_str(), nullptr);
+  config.crashed = static_cast<std::size_t>(options.num("crashed", 0));
+  config.threads = static_cast<std::size_t>(options.num("threads", 1));
+  config.shards = static_cast<std::size_t>(options.num("shards", 0));
+  if (config.nodes < 2 || config.epochs == 0) {
+    std::cerr << "scale: need --nodes >= 2 and --epochs >= 1\n";
+    return 2;
+  }
+
+  const sim::ScaleResult result = sim::run_scale(config);
+
+  // Everything on stdout is a pure function of the config minus
+  // --threads/--shards — the CI determinism gate diffs it across thread
+  // counts.  Wall-clock throughput goes to stderr.
+  util::Table table({"field", "value"});
+  table.row({"policy", config.policy});
+  table.row({"nodes", std::to_string(result.nodes)});
+  table.row({"searches", std::to_string(result.searches)});
+  table.row({"hits", std::to_string(result.hits)});
+  table.row({"timeouts", std::to_string(result.timeouts)});
+  table.row({"success", util::Table::num(result.success_rate(), 4)});
+  table.row({"query messages", std::to_string(result.query_messages)});
+  table.row({"reply messages", std::to_string(result.reply_messages)});
+  table.row({"probe messages", std::to_string(result.probe_messages)});
+  table.row({"dropped", std::to_string(result.dropped)});
+  table.row({"nodes reached", std::to_string(result.nodes_reached)});
+  table.row({"churned", std::to_string(result.churned)});
+  table.print(std::cout);
+  char buffer[2 * sizeof(std::uint64_t) + 1];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(result.outcome_hash));
+  std::cout << "outcome-hash: 0x" << buffer << "\n";
+
+  std::cerr << "build " << result.build_seconds << "s, warmup "
+            << result.warmup_seconds << "s, run " << result.run_seconds
+            << "s; " << result.peers_per_second() << " peers/s, "
+            << result.searches_per_second() << " searches/s\n";
+
+  if (options.has("metrics")) {
+    const std::string path = options.get("metrics", "");
+    if (path == "-") {
+      obs::Registry::global().print_table(std::cout);
+      return 0;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write metrics to " << path << "\n";
+      return 1;
+    }
+    obs::Registry::global().write_json(out, {}, /*include_timers=*/false);
+    std::cerr << "metrics written to " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -688,6 +778,7 @@ int main(int argc, char** argv) {
     if (options.command == "inspect") return cmd_inspect(options);
     if (options.command == "rules") return cmd_rules(options);
     if (options.command == "faults") return cmd_faults(options);
+    if (options.command == "scale") return cmd_scale(options);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

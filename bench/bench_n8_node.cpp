@@ -1,0 +1,112 @@
+// BENCH n8 — aar_node loopback serving performance (docs/NODE.md).
+//
+// The paper's node observed live Gnutella traffic; this bench measures our
+// daemon doing the same over real loopback sockets, in process: a Daemon on
+// ephemeral ports, driven by the replay load generator.
+//
+// Two phases:
+//   1. full speed — relay throughput (frames/sec through the epoll loop)
+//      and end-to-end query->hit latency (p50/p99 over matched hits);
+//   2. paced — the mining/routing loop given time to converge, checked via
+//      the routed-hit fraction (hits answering rule-routed queries).
+//
+// Acceptance bands are deliberately loose (CI machines vary); the exact
+// numbers land in out/BENCH_n8_node.json for trend tracking.
+
+#include <thread>
+
+#include "bench_common.hpp"
+#include "node/daemon.hpp"
+#include "node/replay.hpp"
+
+namespace {
+
+using namespace aar;
+
+struct Run {
+  node::ReplayStats replay;
+  node::NodeStats daemon;
+};
+
+Run drive(double rate, std::size_t pairs, std::uint64_t seed) {
+  node::NodeConfig config;
+  config.window = 4096;
+  config.min_support = 2;
+  config.rebuild_every = 32;
+  config.seed = seed;
+  node::Daemon daemon(config);
+  std::thread server([&daemon] { daemon.run(); });
+
+  node::ReplayConfig load;
+  load.port = daemon.port();
+  load.connections = 4;
+  load.pairs = pairs;
+  load.hosts = 32;
+  load.hit_lag = 8;
+  load.rate = rate;
+  load.drain_ms = 500;
+  load.seed = seed;
+  Run run;
+  run.replay = node::run_replay(load);
+
+  daemon.stop();
+  server.join();
+  run.daemon = daemon.stats();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("n8_node", "aar_node loopback throughput and latency");
+  bench::PerfRecord perf("n8_node");
+
+  const Run fast = drive(/*rate=*/0.0, /*pairs=*/5000, /*seed=*/11);
+  const Run paced = drive(/*rate=*/20'000.0, /*pairs=*/2000, /*seed=*/12);
+
+  util::Table table({"phase", "frames/s", "p50 ms", "p99 ms", "matched",
+                     "routed fraction"});
+  table.row({"full speed", util::Table::num(fast.replay.throughput_fps, 0),
+             util::Table::num(fast.replay.latency_p50_ms, 3),
+             util::Table::num(fast.replay.latency_p99_ms, 3),
+             std::to_string(fast.replay.matched_hits),
+             util::Table::num(fast.daemon.routed_hit_fraction(), 3)});
+  table.row({"paced", util::Table::num(paced.replay.throughput_fps, 0),
+             util::Table::num(paced.replay.latency_p50_ms, 3),
+             util::Table::num(paced.replay.latency_p99_ms, 3),
+             std::to_string(paced.replay.matched_hits),
+             util::Table::num(paced.daemon.routed_hit_fraction(), 3)});
+  table.print(std::cout);
+
+  const double matched_fraction =
+      static_cast<double>(fast.replay.matched_hits) /
+      static_cast<double>(fast.replay.hits_sent);
+  std::vector<bench::PaperRow> rows;
+  rows.push_back({"relay throughput (frames/s)", ">= 5000",
+                  fast.replay.throughput_fps,
+                  fast.replay.throughput_fps >= 5000.0});
+  rows.push_back({"query->hit p99 (ms)", "<= 1000",
+                  fast.replay.latency_p99_ms,
+                  fast.replay.latency_p99_ms <= 1000.0});
+  rows.push_back({"ttl rewrite violations", "0",
+                  static_cast<double>(fast.replay.ttl_violations +
+                                      paced.replay.ttl_violations),
+                  fast.replay.ttl_violations + paced.replay.ttl_violations ==
+                      0});
+  rows.push_back({"matched hit fraction (full speed)", ">= 0.5",
+                  matched_fraction, matched_fraction >= 0.5});
+  rows.push_back({"routed hit fraction (paced)", ">= 0.5",
+                  paced.daemon.routed_hit_fraction(),
+                  paced.daemon.routed_hit_fraction() >= 0.5});
+
+  perf.set_pairs(static_cast<double>(fast.replay.queries_sent +
+                                     fast.replay.hits_sent +
+                                     paced.replay.queries_sent +
+                                     paced.replay.hits_sent));
+  perf.extra("throughput_fps", fast.replay.throughput_fps);
+  perf.extra("latency_p50_ms", fast.replay.latency_p50_ms);
+  perf.extra("latency_p99_ms", fast.replay.latency_p99_ms);
+  perf.extra("routed_hit_fraction", paced.daemon.routed_hit_fraction());
+  perf.extra("rule_routed", static_cast<double>(paced.daemon.rule_routed));
+  return perf.finish(bench::print_comparison(rows));
+}

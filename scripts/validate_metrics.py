@@ -99,6 +99,34 @@ SIM_ENGINE_COUNTERS = {
 }
 SIM_ENGINE_TIMERS = {"sim.engine.build"}
 
+# The node.* family (docs/NODE.md) is likewise closed: aar_node's daemon
+# emits exactly these names from its stats delta-sync.
+NODE_COUNTERS = {
+    "node.accepted",
+    "node.disconnects",
+    "node.bytes_in",
+    "node.bytes_out",
+    "node.messages_in",
+    "node.malformed_frames",
+    "node.queries_in",
+    "node.hits_in",
+    "node.pings_in",
+    "node.dropped",
+    "node.queries_relayed",
+    "node.hits_relayed",
+    "node.rule_routed",
+    "node.flooded",
+    "node.routed_hits",
+    "node.pairs_mined",
+    "node.snapshots",
+    "node.send_retries",
+    "node.send_timeouts",
+    "node.degraded_floods",
+    "node.admin_requests",
+}
+NODE_GAUGES = {"node.connections", "node.rules"}
+NODE_TIMERS = {"node.process"}
+
 
 def check_sim_engine_family(doc, path):
     for name in doc["counters"]:
@@ -109,6 +137,21 @@ def check_sim_engine_family(doc, path):
         if name.startswith("sim.engine.") and name not in SIM_ENGINE_TIMERS:
             fail(f"{path}.timers.{name}",
                  "undocumented sim.engine.* timer (docs/SIMULATION.md)")
+
+
+def check_node_family(doc, path):
+    for name in doc["counters"]:
+        if name.startswith("node.") and name not in NODE_COUNTERS:
+            fail(f"{path}.counters.{name}",
+                 "undocumented node.* counter (docs/NODE.md)")
+    for name in doc["gauges"]:
+        if name.startswith("node.") and name not in NODE_GAUGES:
+            fail(f"{path}.gauges.{name}",
+                 "undocumented node.* gauge (docs/NODE.md)")
+    for name in doc["timers"]:
+        if name.startswith("node.") and name not in NODE_TIMERS:
+            fail(f"{path}.timers.{name}",
+                 "undocumented node.* timer (docs/NODE.md)")
 
 
 def check_metrics(doc, path):
@@ -124,6 +167,7 @@ def check_metrics(doc, path):
     check_str_map(doc["histograms"], f"{path}.histograms", check_histogram)
     check_str_map(doc["series"], f"{path}.series", check_series)
     check_sim_engine_family(doc, path)
+    check_node_family(doc, path)
 
 
 def check_bench(doc, path):
@@ -153,6 +197,15 @@ def check_bench(doc, path):
         if counters["sim.engine.searches"] <= 0:
             fail(f"{path}.metrics.counters.sim.engine.searches",
                  "n7_scale ran no engine searches")
+    if doc["id"] == "n8_node":
+        # The node bench drives a live daemon over loopback sockets; its
+        # record must show traffic that was relayed and rule-routed hits.
+        counters = doc["metrics"]["counters"]
+        for name in ("node.messages_in", "node.queries_relayed",
+                     "node.routed_hits"):
+            if counters.get(name, 0) <= 0:
+                fail(f"{path}.metrics.counters.{name}",
+                     "n8_node record shows no daemon activity")
 
 
 def validate_file(filename):

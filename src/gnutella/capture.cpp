@@ -19,6 +19,36 @@ CaptureNode::CaptureNode(std::vector<NeighborId> neighbors,
                          std::function<double()> clock)
     : neighbors_(std::move(neighbors)), clock_(std::move(clock)) {}
 
+void CaptureNode::add_neighbor(NeighborId neighbor) {
+  if (std::find(neighbors_.begin(), neighbors_.end(), neighbor) ==
+      neighbors_.end()) {
+    neighbors_.push_back(neighbor);
+  }
+}
+
+void CaptureNode::remove_neighbor(NeighborId neighbor) {
+  neighbors_.erase(std::remove(neighbors_.begin(), neighbors_.end(), neighbor),
+                   neighbors_.end());
+}
+
+Message relayed_message(const Message& message, const RelayDecision& decision) {
+  Message out = message;
+  out.header = decision.forward_header;
+  return out;
+}
+
+namespace {
+
+/// The 0.4 relay header rewrite: one TTL spent, one hop travelled.
+Header relay_header(const Header& header) noexcept {
+  Header out = header;
+  out.ttl = static_cast<std::uint8_t>(header.ttl - 1);
+  out.hops = static_cast<std::uint8_t>(header.hops + 1);
+  return out;
+}
+
+}  // namespace
+
 RelayDecision CaptureNode::on_message(NeighborId from, const Message& message) {
   RelayDecision decision;
   const Header& header = message.header;
@@ -51,6 +81,7 @@ RelayDecision CaptureNode::on_message(NeighborId from, const Message& message) {
       for (NeighborId neighbor : neighbors_) {
         if (neighbor != from) decision.forward_to.push_back(neighbor);
       }
+      decision.forward_header = relay_header(header);
       return decision;
     }
     case MessageType::kQueryHit: {
@@ -79,6 +110,7 @@ RelayDecision CaptureNode::on_message(NeighborId from, const Message& message) {
         return decision;
       }
       decision.forward_to.push_back(route->second);
+      decision.forward_header = relay_header(header);
       return decision;
     }
     case MessageType::kPing: {
@@ -90,6 +122,7 @@ RelayDecision CaptureNode::on_message(NeighborId from, const Message& message) {
       for (NeighborId neighbor : neighbors_) {
         if (neighbor != from) decision.forward_to.push_back(neighbor);
       }
+      decision.forward_header = relay_header(header);
       return decision;
     }
     case MessageType::kPong:

@@ -27,8 +27,19 @@ using NeighborId = std::uint32_t;
 struct RelayDecision {
   bool drop = false;                  ///< duplicate / expired / malformed
   std::vector<NeighborId> forward_to; ///< neighbors to relay the message to
+  /// Header to stamp on the relayed frame: TTL decremented, hops
+  /// incremented (the 0.4 relay rules).  Valid whenever forward_to is
+  /// non-empty — a relay that reused the incoming header verbatim would
+  /// loop the descriptor forever at its original TTL.
+  Header forward_header{};
   std::string drop_reason;
 };
+
+/// The message as it must leave the node: identical payload, rewritten
+/// header (`decision.forward_header`).  Only meaningful for a non-drop
+/// decision.
+[[nodiscard]] Message relayed_message(const Message& message,
+                                      const RelayDecision& decision);
 
 class CaptureNode {
  public:
@@ -40,6 +51,16 @@ class CaptureNode {
   /// records queries / query-hits, and returns what a real servent would do
   /// with the descriptor.
   RelayDecision on_message(NeighborId from, const Message& message);
+
+  /// Live-connection churn hooks for the networked daemon (aar_node): a
+  /// real node's neighbor set changes as connections come and go.  Flood
+  /// decisions cover the neighbors present at on_message time; reverse
+  /// routes to a removed neighbor simply stop resolving to a live socket.
+  void add_neighbor(NeighborId neighbor);
+  void remove_neighbor(NeighborId neighbor);
+  [[nodiscard]] const std::vector<NeighborId>& neighbors() const noexcept {
+    return neighbors_;
+  }
 
   /// The capture database (run join() on it to get the pair table).
   [[nodiscard]] trace::Database& database() noexcept { return db_; }

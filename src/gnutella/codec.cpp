@@ -3,10 +3,21 @@
 
 #include <algorithm>
 #include <cstring>
+#include <stdexcept>
 
 namespace aar::gnutella {
 
 namespace {
+
+/// A NUL-terminated wire string must not itself contain NUL: the parser
+/// would stop at the embedded one and the frame would round-trip lossily
+/// (the capture would record a different QueryKey than was sent).
+void require_no_nul(const std::string& text, const char* what) {
+  if (text.find('\0') != std::string::npos) {
+    throw std::invalid_argument(std::string(what) +
+                                " contains an embedded NUL");
+  }
+}
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
   out.push_back(static_cast<std::uint8_t>(value & 0xff));
@@ -42,6 +53,7 @@ std::vector<std::uint8_t> serialize_payload(const Message& message) {
       put_u32(payload, message.pong.shared_kb);
       break;
     case MessageType::kQuery:
+      require_no_nul(message.query.search, "query search");
       put_u16(payload, message.query.min_speed);
       payload.insert(payload.end(), message.query.search.begin(),
                      message.query.search.end());
@@ -49,11 +61,19 @@ std::vector<std::uint8_t> serialize_payload(const Message& message) {
       break;
     case MessageType::kQueryHit: {
       const QueryHit& hit = message.query_hit;
+      // The wire count is one byte: 256 results used to serialize as count 0
+      // and the parser desynced from the trailing servent GUID.
+      if (hit.results.size() > kMaxHitResults) {
+        throw std::invalid_argument("QueryHit carries " +
+                                    std::to_string(hit.results.size()) +
+                                    " results; the wire maximum is 255");
+      }
       payload.push_back(static_cast<std::uint8_t>(hit.results.size()));
       put_u16(payload, hit.port);
       put_u32(payload, hit.ip);
       put_u32(payload, hit.speed);
       for (const HitResult& result : hit.results) {
+        require_no_nul(result.file_name, "hit file name");
         put_u32(payload, result.file_index);
         put_u32(payload, result.file_size);
         payload.insert(payload.end(), result.file_name.begin(),
@@ -206,6 +226,17 @@ void FrameDecoder::compact() {
 
 std::optional<Message> FrameDecoder::next() {
   for (;;) {
+    // Finish any pending resync first: the tail of a malformed frame may
+    // not have arrived yet, so its bytes are discarded as they stream in.
+    if (skip_ > 0) {
+      const std::size_t take = std::min(skip_, buffer_.size() - offset_);
+      offset_ += take;
+      skip_ -= take;
+      if (skip_ > 0) {
+        compact();
+        return std::nullopt;  // the rest of the bad frame is still in flight
+      }
+    }
     const std::span<const std::uint8_t> pending(buffer_.data() + offset_,
                                                 buffer_.size() - offset_);
     const ParseResult result = parse(pending);
@@ -219,28 +250,20 @@ std::optional<Message> FrameDecoder::next() {
         compact();
         return std::nullopt;  // wait for more bytes
       case ParseError::kUnknownType:
-      case ParseError::kOversizedPayload: {
-        // Resynchronize: skip header + declared payload (best effort).
+      case ParseError::kOversizedPayload:
+        // Resynchronize past header + declared payload.  The declared length
+        // was already parsed into result's header (before the type check),
+        // so the frame is never re-parsed; clamping to kMaxPayload bounds
+        // how far a garbage length can stall the stream.
         ++malformed_;
-        const std::uint32_t declared =
-            pending.size() >= Header::kSize
-                ? std::min<std::uint32_t>(
-                      static_cast<std::uint32_t>(pending.size() - Header::kSize),
-                      std::min(parse(pending).message.header.payload_length,
-                               kMaxPayload))
-                : 0;
-        offset_ += Header::kSize + declared;
-        offset_ = std::min(offset_, buffer_.size());
+        skip_ = Header::kSize +
+                std::min(result.message.header.payload_length, kMaxPayload);
         break;
-      }
       case ParseError::kMalformedPayload:
-        // Frame boundary is trustworthy (length checked) — skip it whole.
+        // Frame boundary is trustworthy (length checked, payload fully
+        // buffered): parse always sets consumed here — skip it whole.
         ++malformed_;
-        offset_ += result.consumed != 0
-                       ? result.consumed
-                       : Header::kSize + parse(pending).message.header
-                                             .payload_length;
-        offset_ = std::min(offset_, buffer_.size());
+        skip_ = result.consumed;
         break;
     }
   }
@@ -267,6 +290,7 @@ WireGuid make_wire_guid(std::uint64_t seed) noexcept {
 
 Message make_query(const WireGuid& guid, std::uint8_t ttl,
                    std::uint16_t min_speed, const std::string& search) {
+  require_no_nul(search, "query search");
   Message message;
   message.header.guid = guid;
   message.header.type = MessageType::kQuery;

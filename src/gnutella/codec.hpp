@@ -6,6 +6,13 @@
 // paper's capture demonstrably contained garbage (clients that reused
 // GUIDs).  Errors are reported as typed codes, never exceptions — a capture
 // node must survive any byte stream its neighbors send.
+//
+// serialize() is the opposite: it refuses (std::invalid_argument) to emit a
+// frame that cannot round-trip through parse() — a QueryHit with more than
+// 255 results (the wire count is one byte) or a search / file-name string
+// containing an embedded NUL (the wire format is NUL-terminated, so the
+// parser would truncate it and the capture would record a different
+// QueryKey than was sent).
 
 #include <cstdint>
 #include <optional>
@@ -40,7 +47,13 @@ struct ParseResult {
 /// (classic Gnutella clients dropped them too).
 constexpr std::uint32_t kMaxPayload = 64 * 1024;
 
+/// Most results one QueryHit can carry: the wire count field is one byte.
+constexpr std::size_t kMaxHitResults = 255;
+
 /// Serialize a message; the header's payload_length is recomputed.
+/// Throws std::invalid_argument for a message that cannot round-trip: a
+/// QueryHit with more than kMaxHitResults results, or a Query search /
+/// QueryHit file name containing an embedded NUL.
 [[nodiscard]] std::vector<std::uint8_t> serialize(const Message& message);
 
 /// Parse one message from the front of `bytes`.
@@ -68,10 +81,16 @@ class FrameDecoder {
 
   std::vector<std::uint8_t> buffer_;
   std::size_t offset_ = 0;
+  /// Bytes of a malformed frame still to discard; nonzero when resync
+  /// outpaced the bytes that have arrived, so skipping resumes on the next
+  /// feed and the decoded stream is identical for every chunking.
+  std::size_t skip_ = 0;
   std::uint64_t malformed_ = 0;
 };
 
 /// Convenience constructors used by tests, examples, and the capture bridge.
+/// make_query throws std::invalid_argument when `search` contains an
+/// embedded NUL (see serialize).
 [[nodiscard]] Message make_query(const WireGuid& guid, std::uint8_t ttl,
                                  std::uint16_t min_speed,
                                  const std::string& search);

@@ -1,0 +1,239 @@
+#pragma once
+// aar_node daemon (docs/NODE.md): the paper's "modified Gnutella node"
+// promoted from a test fixture to a networked servent.
+//
+// A single-threaded epoll loop accepts neighbor connections on one port,
+// runs a gnutella::FrameDecoder per connection, and relays descriptors
+// through a gnutella::CaptureNode — the relayed frames carry the rewritten
+// header (TTL decremented, hops incremented).  Every query/reply pair the
+// relay observes feeds a mining::IncrementalRuleMiner whose snapshots drive
+// live neighbor selection through core::Forwarder: a query from a neighbor
+// with a matching antecedent goes only to the top-k consequent connections;
+// everything else floods.
+//
+// Real sockets stall, so sends run behind the same retry ladder the overlay
+// search uses against injected faults (docs/FAULTS.md): a connection whose
+// outbound buffer stops draining is re-flushed under exponential backoff
+// with jitter; when the ladder is exhausted the peer is declared dead and
+// queries whose rules named only dead or stalled peers degrade to flooding.
+//
+// A second port serves a plain-text admin protocol (one command per line:
+// `health`, `stats`, `metrics`, `shutdown`) exporting the `node.*` metric
+// family documented in docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/forwarder.hpp"
+#include "gnutella/capture.hpp"
+#include "mining/incremental_miner.hpp"
+#include "node/net.hpp"
+#include "util/rng.hpp"
+
+namespace aar::node {
+
+struct NodeConfig {
+  /// Serving / admin ports on 127.0.0.1; 0 = ephemeral (query the accessor).
+  std::uint16_t port = 0;
+  std::uint16_t admin_port = 0;
+
+  /// Mining window (pairs), support threshold, and snapshot cadence for the
+  /// live rule set; defaults scale like overlay::AssociationPolicyConfig.
+  std::size_t window = 4096;
+  std::uint32_t min_support = 2;
+  std::size_t rebuild_every = 64;
+  /// Fan-out for rule-directed relay (top-k consequents).
+  std::size_t top_k = 2;
+
+  /// Send-stall retry ladder (the overlay robustness ladder on real
+  /// sockets): bounded retries under exponential backoff with jitter, then
+  /// the peer is declared dead.
+  std::uint32_t retries = 3;
+  std::uint32_t backoff_ms = 10;
+  std::uint32_t backoff_jitter_ms = 0;
+  /// Total stall budget: a connection whose buffer has not drained for this
+  /// long times out even if retries remain.
+  std::uint32_t send_timeout_ms = 2'000;
+  /// Userspace outbound cap per connection; frames beyond it are dropped
+  /// and the connection counts as stalled until it drains.
+  std::size_t max_outbound = 4u << 20;
+
+  std::uint64_t seed = 7;  ///< backoff jitter rng
+  /// SO_SNDBUF override for accepted peer sockets; 0 = kernel default
+  /// (tests shrink it to exercise the ladder with few bytes).
+  int send_buffer = 0;
+};
+
+/// Aggregate daemon counters (mirrored into the obs `node.*` family; the
+/// struct is the single-threaded loop's source of truth).
+struct NodeStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t messages_in = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t queries_in = 0;
+  std::uint64_t hits_in = 0;
+  std::uint64_t pings_in = 0;
+  std::uint64_t dropped = 0;          ///< relay drops (duplicate/expired/unrouted)
+  std::uint64_t queries_relayed = 0;  ///< query frames enqueued to targets
+  std::uint64_t hits_relayed = 0;     ///< hit frames enqueued on reverse paths
+  std::uint64_t rule_routed = 0;      ///< queries forwarded by mined rules
+  std::uint64_t flooded = 0;          ///< queries forwarded by flooding
+  std::uint64_t routed_hits = 0;      ///< hits answering rule-routed queries
+  std::uint64_t pairs_mined = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t send_retries = 0;
+  std::uint64_t send_timeouts = 0;
+  std::uint64_t degraded_floods = 0;  ///< rules named only dead/stalled peers
+  std::uint64_t admin_requests = 0;
+
+  /// Fraction of observed query-hits that answered a rule-routed query —
+  /// the daemon's live analogue of the paper's success measure.
+  [[nodiscard]] double routed_hit_fraction() const noexcept {
+    return pairs_mined == 0 ? 0.0
+                            : static_cast<double>(routed_hits) /
+                                  static_cast<double>(pairs_mined);
+  }
+};
+
+/// Deterministic backoff schedule for one stalled connection — the shape of
+/// the overlay search ladder (docs/FAULTS.md) applied to socket sends.
+struct RetryLadder {
+  std::uint32_t retries = 3;
+  std::uint32_t backoff_ms = 10;
+  std::uint32_t jitter_ms = 0;
+
+  /// Delay before retry `attempt` (0-based): backoff_ms doubled per attempt
+  /// (clamped to at least 1 ms) plus uniform jitter in [0, jitter_ms].
+  [[nodiscard]] std::uint32_t delay_ms(std::uint32_t attempt,
+                                       util::Rng& rng) const;
+  [[nodiscard]] bool exhausted(std::uint32_t attempt) const noexcept {
+    return attempt >= retries;
+  }
+};
+
+class Daemon {
+ public:
+  /// Binds both listening sockets (throws std::system_error on failure);
+  /// serving starts at run().
+  explicit Daemon(NodeConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint16_t admin_port() const noexcept {
+    return admin_port_;
+  }
+
+  /// Serve until stop() or an admin `shutdown` command.  Call once.
+  void run();
+
+  /// Thread-safe: wake the loop and make run() return after the current
+  /// iteration.
+  void stop();
+
+  /// Loop-owned state; read after run() returns (tests, bench) or from the
+  /// admin endpoint while serving.
+  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const mining::IncrementalRuleMiner& miner() const noexcept {
+    return miner_;
+  }
+  [[nodiscard]] const gnutella::CaptureNode& capture() const noexcept {
+    return capture_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Connection {
+    Fd fd;
+    gnutella::NeighborId id = 0;
+    bool is_admin = false;
+    gnutella::FrameDecoder decoder;
+    std::vector<std::uint8_t> outbound;
+    std::size_t out_off = 0;
+    // Send-stall ladder state.
+    bool stalled = false;
+    bool want_out = false;  ///< EPOLLOUT currently armed
+    std::uint32_t attempt = 0;
+    Clock::time_point stall_start{};
+    Clock::time_point retry_at{};
+    std::uint64_t malformed_reported = 0;  ///< decoder count synced to stats
+    // Admin line accumulator; an admin connection closes once flushed.
+    std::string admin_input;
+    bool close_after_flush = false;
+
+    [[nodiscard]] std::size_t queued() const noexcept {
+      return outbound.size() - out_off;
+    }
+  };
+
+  struct PendingQuery {
+    gnutella::NeighborId from = 0;
+    trace::QueryKey key = 0;
+    bool rule_routed = false;
+    Clock::time_point seen{};
+  };
+
+  void accept_peers();
+  void accept_admin();
+  void on_peer_readable(Connection& connection);
+  void on_writable(Connection& connection);
+  void handle_message(Connection& connection, const gnutella::Message& message);
+  void relay(const gnutella::Message& message,
+             const gnutella::RelayDecision& decision,
+             const std::vector<gnutella::NeighborId>& targets);
+  void on_admin_readable(Connection& connection);
+  void handle_admin_line(Connection& connection, const std::string& line);
+  void enqueue(Connection& connection, std::span<const std::uint8_t> bytes);
+  void flush(Connection& connection);
+  void escalate_stalls(Clock::time_point now);
+  void close_connection(int fd);
+  void want_writable(Connection& connection, bool enable);
+  void take_snapshot();
+  void sync_metrics();
+  [[nodiscard]] int poll_timeout_ms(Clock::time_point now) const;
+  [[nodiscard]] std::string stats_text() const;
+  [[nodiscard]] std::string metrics_json();
+  [[nodiscard]] Connection* find_peer(gnutella::NeighborId id);
+
+  NodeConfig config_;
+  RetryLadder ladder_;
+  Fd listen_fd_;
+  Fd admin_fd_;
+  Fd epoll_fd_;
+  Fd wake_fd_;
+  std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
+
+  gnutella::CaptureNode capture_;
+  mining::IncrementalRuleMiner miner_;
+  core::Forwarder forwarder_;
+  util::Rng rng_;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;  // by fd
+  std::unordered_map<gnutella::NeighborId, int> peer_fd_;  // neighbor -> fd
+  gnutella::NeighborId next_neighbor_ = 1;
+
+  std::unordered_map<std::uint64_t, PendingQuery> pending_;
+  std::deque<std::uint64_t> pending_order_;
+  std::size_t since_rebuild_ = 0;
+
+  NodeStats stats_;
+  NodeStats reported_;  ///< synced into obs counters (delta accounting)
+  std::vector<std::uint8_t> read_buffer_;
+  std::atomic<bool> stop_{false};
+  bool stopping_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace aar::node

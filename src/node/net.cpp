@@ -1,0 +1,126 @@
+#include "node/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace aar::node {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), 64) < 0) throw_errno("listen");
+  sockaddr_in actual{};
+  socklen_t len = sizeof actual;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  bound_port = ntohs(actual.sin_port);
+  make_nonblocking(fd.get());
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+  sockaddr_in addr = loopback(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  const int one = 1;
+  // Latency matters more than segment coalescing for 30-to-60-byte frames.
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  make_nonblocking(fd.get());
+  return fd;
+}
+
+Fd accept_client(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      Fd client(fd);
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      make_nonblocking(fd);
+      return client;
+    }
+    if (errno == EINTR) continue;
+    return Fd{};
+  }
+}
+
+IoResult read_some(int fd, std::span<std::uint8_t> buffer) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n > 0) return {IoStatus::ok, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::closed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {IoStatus::would_block, 0};
+    return {IoStatus::closed, 0};
+  }
+}
+
+IoResult write_some(int fd, std::span<const std::uint8_t> bytes) {
+  for (;;) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::ok, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {IoStatus::would_block, 0};
+    return {IoStatus::closed, 0};
+  }
+}
+
+void set_send_buffer(int fd, int bytes) {
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+}
+
+}  // namespace aar::node

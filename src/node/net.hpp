@@ -1,0 +1,78 @@
+#pragma once
+// Thin POSIX socket layer for aar_node (docs/NODE.md): RAII file
+// descriptors and the handful of non-blocking TCP operations the daemon and
+// the replay load generator need.  Linux-only (the daemon's event loop is
+// epoll); everything throws std::system_error on setup failures — a node
+// that cannot bind its port must die loudly — while per-connection I/O
+// reports would-block / closed through return codes so the event loop can
+// keep serving its other peers.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace aar::node {
+
+/// RAII file descriptor (sockets, epoll, eventfd).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create a non-blocking listening TCP socket bound to 127.0.0.1:`port`
+/// (port 0 = ephemeral).  `bound_port` receives the actual port.
+/// Throws std::system_error on failure.
+[[nodiscard]] Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port);
+
+/// Blocking connect to host:port, then switch the socket non-blocking.
+/// Throws std::system_error on failure (connection refused included).
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Accept one pending connection on a non-blocking listening socket; the
+/// returned socket is non-blocking with TCP_NODELAY set.  Returns an
+/// invalid Fd when no connection is pending.
+[[nodiscard]] Fd accept_client(int listen_fd);
+
+/// Result of one non-blocking read/write attempt.
+enum class IoStatus : std::uint8_t {
+  ok,           ///< made progress (`n` bytes)
+  would_block,  ///< EAGAIN — try again when the fd is ready
+  closed,       ///< orderly EOF or a hard error; drop the connection
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::ok;
+  std::size_t n = 0;
+};
+
+/// Read as much as is available into `buffer` (one recv call).
+[[nodiscard]] IoResult read_some(int fd, std::span<std::uint8_t> buffer);
+
+/// Write as much of `bytes` as the socket accepts (one send call).
+[[nodiscard]] IoResult write_some(int fd, std::span<const std::uint8_t> bytes);
+
+/// Shrink the kernel send buffer (test / bench hook for exercising the
+/// send-stall retry ladder with small byte volumes).  Best effort.
+void set_send_buffer(int fd, int bytes);
+
+}  // namespace aar::node

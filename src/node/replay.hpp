@@ -1,0 +1,58 @@
+#pragma once
+// Replay load generator for aar_node (docs/NODE.md): drives a live daemon
+// over real loopback sockets with a query/hit workload — either synthesized
+// with a stable host→neighbor association structure (so the daemon has
+// rules to mine) or taken from a pairs-kind .aartr trace.
+//
+// The generator opens N neighbor connections, issues each pair's query on
+// the connection its source host maps to, and issues the answering
+// QueryHit — lagged by a configurable number of events, like a real
+// network's round trip — on the source's "home" connection.  Everything the
+// daemon relays back is decoded and verified: a relayed frame must carry
+// the rewritten header (TTL decremented, hops incremented), and every
+// QueryHit routed back to its query's origin connection is matched against
+// the outstanding query table to produce end-to-end latency percentiles.
+
+#include <cstdint>
+#include <string>
+
+namespace aar::node {
+
+struct ReplayConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;           ///< daemon serving port (required)
+  std::size_t connections = 4;      ///< neighbor sockets to open (>= 2)
+  std::size_t pairs = 1000;         ///< synthetic query/hit pairs to send
+  std::string trace_path;           ///< optional pairs-kind .aartr to replay
+  double rate = 0.0;                ///< frames/sec pacing; 0 = full speed
+  std::uint8_t ttl = 4;
+  std::size_t hit_lag = 16;         ///< events between a query and its hit
+  std::uint32_t hosts = 32;         ///< synthetic source-host population
+  std::uint32_t drain_ms = 1000;    ///< post-send wait for trailing relays
+  std::uint64_t seed = 1;
+};
+
+struct ReplayStats {
+  std::uint64_t queries_sent = 0;
+  std::uint64_t hits_sent = 0;
+  std::uint64_t frames_received = 0;   ///< everything relayed back to us
+  std::uint64_t queries_received = 0;
+  std::uint64_t hits_received = 0;
+  std::uint64_t matched_hits = 0;      ///< hits routed back to their query's origin
+  std::uint64_t ttl_violations = 0;    ///< relayed frame without ttl-1 / hops+1
+  std::uint64_t malformed = 0;         ///< decode failures on relayed bytes
+  double elapsed_s = 0.0;
+  double throughput_fps = 0.0;         ///< frames sent per second
+  double latency_p50_ms = 0.0;         ///< query send -> matched hit arrival
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+};
+
+/// Run one replay session against a live daemon.  Throws std::system_error
+/// when the daemon cannot be reached and std::runtime_error on a bad trace.
+[[nodiscard]] ReplayStats run_replay(const ReplayConfig& config);
+
+/// Render the stats as "replay.name value" lines (CLI / CI output).
+[[nodiscard]] std::string to_text(const ReplayStats& stats);
+
+}  // namespace aar::node

@@ -239,5 +239,94 @@ TEST(CaptureNode, NormalizeQueryIsCaseInsensitive) {
   EXPECT_NE(normalize_query("a"), normalize_query("b"));
 }
 
+// --- relay header rewrite (the 0.4 TTL/hops rules) -----------------------
+
+TEST(CaptureNode, RelayDecrementsTtlAndIncrementsHops) {
+  CaptureNode node = make_node();
+  const Message query = make_query(make_wire_guid(40), 5, 0, "x");
+  const RelayDecision decision = node.on_message(1, query);
+  ASSERT_FALSE(decision.drop);
+  EXPECT_EQ(decision.forward_header.ttl, 4);
+  EXPECT_EQ(decision.forward_header.hops, 1);
+  // Everything else is untouched: same descriptor, one hop older.
+  EXPECT_EQ(decision.forward_header.guid, query.header.guid);
+  EXPECT_EQ(decision.forward_header.type, MessageType::kQuery);
+}
+
+TEST(CaptureNode, RelayedHitCarriesRewrittenHeader) {
+  CaptureNode node = make_node();
+  const WireGuid guid = make_wire_guid(41);
+  node.on_message(2, make_query(guid, 7, 0, "song"));
+  Message hit = make_query_hit(
+      guid, 6, make_wire_guid(99),
+      {{.file_index = 1, .file_size = 1, .file_name = "song"}});
+  hit.header.hops = 2;
+  const RelayDecision decision = node.on_message(3, hit);
+  ASSERT_FALSE(decision.drop);
+  EXPECT_EQ(decision.forward_header.ttl, 5);
+  EXPECT_EQ(decision.forward_header.hops, 3);
+}
+
+TEST(CaptureNode, RelayedPingCarriesRewrittenHeader) {
+  CaptureNode node = make_node();
+  const RelayDecision decision =
+      node.on_message(1, make_ping(make_wire_guid(42), 4));
+  ASSERT_FALSE(decision.drop);
+  EXPECT_EQ(decision.forward_header.ttl, 3);
+  EXPECT_EQ(decision.forward_header.hops, 1);
+}
+
+TEST(CaptureNode, RelayedBytesCarryRewrittenHeader) {
+  // The wire-level regression: the frame a node actually emits must differ
+  // from the frame it received in exactly TTL-1 / hops+1.
+  CaptureNode node = make_node();
+  const Message query = make_query(make_wire_guid(43), 7, 10, "the wall");
+  const RelayDecision decision = node.on_message(2, query);
+  ASSERT_FALSE(decision.drop);
+  const auto bytes = serialize(relayed_message(query, decision));
+  const ParseResult parsed = parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.message.header.ttl, 6);
+  EXPECT_EQ(parsed.message.header.hops, 1);
+  EXPECT_EQ(parsed.message.header.guid, query.header.guid);
+  EXPECT_EQ(parsed.message.query.search, "the wall");
+  EXPECT_EQ(parsed.message.query.min_speed, 10);
+}
+
+TEST(CaptureNode, RelayedQueryExpiresHopByHop) {
+  // Drop-at-zero across a chain of relays: ttl 3 survives two rewrites and
+  // the third node refuses to forward it further.
+  const Message origin = make_query(make_wire_guid(44), 3, 0, "x");
+
+  CaptureNode first = make_node();
+  const RelayDecision hop1 = first.on_message(1, origin);
+  ASSERT_FALSE(hop1.drop);
+  const Message after1 = relayed_message(origin, hop1);
+  EXPECT_EQ(after1.header.ttl, 2);
+
+  CaptureNode second = make_node();
+  const RelayDecision hop2 = second.on_message(1, after1);
+  ASSERT_FALSE(hop2.drop);
+  const Message after2 = relayed_message(after1, hop2);
+  EXPECT_EQ(after2.header.ttl, 1);
+  EXPECT_EQ(after2.header.hops, 2);
+
+  CaptureNode third = make_node();
+  const RelayDecision hop3 = third.on_message(1, after2);
+  EXPECT_TRUE(hop3.drop);
+  EXPECT_EQ(hop3.drop_reason, "TTL expired");
+}
+
+TEST(CaptureNode, NeighborChurnChangesFloodSet) {
+  CaptureNode node = make_node();
+  node.remove_neighbor(3);
+  node.add_neighbor(7);
+  node.add_neighbor(7);  // idempotent
+  const RelayDecision decision =
+      node.on_message(2, make_query(make_wire_guid(45), 7, 0, "x"));
+  EXPECT_EQ(decision.forward_to, (std::vector<NeighborId>{1, 7}));
+  EXPECT_EQ(node.neighbors(), (std::vector<NeighborId>{1, 2, 7}));
+}
+
 }  // namespace
 }  // namespace aar::gnutella

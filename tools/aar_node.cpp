@@ -1,0 +1,262 @@
+// aar_node — the networked serving daemon (docs/NODE.md).
+//
+// The paper's capture ran at "a modified node in the Gnutella network";
+// aar_node is that node as a process: an epoll loop speaking the Gnutella
+// 0.4 wire format on real sockets, relaying descriptors through the capture
+// relay rules, mining association rules from the query/reply pairs it
+// observes, and rule-routing live queries.
+//
+// Usage:
+//   aar_node serve [--port P] [--admin-port P] [--window N]
+//                  [--min-support T] [--rebuild-every N] [--top-k K]
+//                  [--retries R] [--backoff-ms B] [--jitter-ms J]
+//                  [--send-timeout-ms T] [--send-buffer B] [--seed S]
+//   aar_node replay --port P [--host H] [--trace F.aartr] [--pairs N]
+//                  [--rate N] [--connections C] [--ttl T] [--hit-lag N]
+//                  [--hosts N] [--drain-ms N] [--seed S]
+//   aar_node admin --port P [--host H] [--command CMD]
+//
+// `serve` prints its bound ports ("listening P" / "admin P") and serves
+// until SIGINT/SIGTERM or an admin `shutdown`, then dumps final node.*
+// stats to stdout.  `replay` drives a live daemon with a query/hit workload
+// (synthetic or a pairs-kind .aartr trace) and reports relay/latency stats,
+// including a ttl_violations count that must be zero against a correct
+// relay.  `admin` sends one command (default `stats`) and prints the reply.
+//
+// Exit status: 0 on success, 1 on runtime failures (daemon unreachable,
+// bad trace), 2 on usage errors; unknown or malformed flags are rejected.
+
+#include <poll.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "node/daemon.hpp"
+#include "node/net.hpp"
+#include "node/replay.hpp"
+
+namespace {
+
+using namespace aar;
+
+struct Options {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::string parse_error;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long num(const std::string& key, long fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback
+                             : std::strtol(it->second.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.contains(key);
+  }
+};
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  aar_node serve [--port P] [--admin-port P] [--window N]\n"
+         "                 [--min-support T] [--rebuild-every N] [--top-k K]\n"
+         "                 [--retries R] [--backoff-ms B] [--jitter-ms J]\n"
+         "                 [--send-timeout-ms T] [--send-buffer B] [--seed S]\n"
+         "  aar_node replay --port P [--host H] [--trace F.aartr]\n"
+         "                 [--pairs N] [--rate N] [--connections C]\n"
+         "                 [--ttl T] [--hit-lag N] [--hosts N]\n"
+         "                 [--drain-ms N] [--seed S]\n"
+         "  aar_node admin --port P [--host H] [--command CMD]\n"
+         "serve binds 127.0.0.1 only (port 0 = ephemeral, printed at\n"
+         "startup); replay needs a running daemon; admin commands are\n"
+         "health | stats | metrics | shutdown.\n";
+  return 2;
+}
+
+const std::map<std::string, std::vector<std::string>, std::less<>>
+    kAllowedFlags = {
+        {"serve",
+         {"port", "admin-port", "window", "min-support", "rebuild-every",
+          "top-k", "retries", "backoff-ms", "jitter-ms", "send-timeout-ms",
+          "send-buffer", "seed"}},
+        {"replay",
+         {"port", "host", "trace", "pairs", "rate", "connections", "ttl",
+          "hit-lag", "hosts", "drain-ms", "seed"}},
+        {"admin", {"port", "host", "command"}},
+};
+
+Options parse(int argc, char** argv) {
+  Options options;
+  if (argc >= 2) options.command = argv[1];
+  for (int i = 2; i < argc;) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      options.parse_error = "unexpected argument '" + key + "'";
+      return options;
+    }
+    if (i + 1 >= argc) {
+      options.parse_error = "flag '" + key + "' needs a value";
+      return options;
+    }
+    options.flags[key.substr(2)] = argv[i + 1];
+    i += 2;
+  }
+  return options;
+}
+
+std::string unknown_flag(const Options& options) {
+  const auto it = kAllowedFlags.find(options.command);
+  if (it == kAllowedFlags.end()) return {};
+  for (const auto& [key, value] : options.flags) {
+    if (std::find(it->second.begin(), it->second.end(), key) ==
+        it->second.end()) {
+      return key;
+    }
+  }
+  return {};
+}
+
+node::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+int cmd_serve(const Options& options) {
+  node::NodeConfig config;
+  config.port = static_cast<std::uint16_t>(options.num("port", 0));
+  config.admin_port = static_cast<std::uint16_t>(options.num("admin-port", 0));
+  config.window = static_cast<std::size_t>(options.num("window", 4096));
+  config.min_support =
+      static_cast<std::uint32_t>(options.num("min-support", 2));
+  config.rebuild_every =
+      static_cast<std::size_t>(options.num("rebuild-every", 64));
+  config.top_k = static_cast<std::size_t>(options.num("top-k", 2));
+  config.retries = static_cast<std::uint32_t>(options.num("retries", 3));
+  config.backoff_ms = static_cast<std::uint32_t>(options.num("backoff-ms", 10));
+  config.backoff_jitter_ms =
+      static_cast<std::uint32_t>(options.num("jitter-ms", 0));
+  config.send_timeout_ms =
+      static_cast<std::uint32_t>(options.num("send-timeout-ms", 2000));
+  config.send_buffer = static_cast<int>(options.num("send-buffer", 0));
+  config.seed = static_cast<std::uint64_t>(options.num("seed", 7));
+
+  node::Daemon daemon(config);
+  g_daemon = &daemon;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::cout << "listening " << daemon.port() << "\n"
+            << "admin " << daemon.admin_port() << "\n"
+            << std::flush;
+  daemon.run();
+  g_daemon = nullptr;
+
+  const node::NodeStats& stats = daemon.stats();
+  std::cout << "node.messages_in " << stats.messages_in << "\n"
+            << "node.queries_relayed " << stats.queries_relayed << "\n"
+            << "node.hits_relayed " << stats.hits_relayed << "\n"
+            << "node.rule_routed " << stats.rule_routed << "\n"
+            << "node.flooded " << stats.flooded << "\n"
+            << "node.routed_hits " << stats.routed_hits << "\n"
+            << "node.pairs_mined " << stats.pairs_mined << "\n"
+            << "node.send_timeouts " << stats.send_timeouts << "\n";
+  std::printf("node.routed_hit_fraction %.6f\n", stats.routed_hit_fraction());
+  return 0;
+}
+
+int cmd_replay(const Options& options) {
+  if (!options.has("port")) {
+    std::cerr << "replay: --port is required\n";
+    return usage();
+  }
+  node::ReplayConfig config;
+  config.host = options.get("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(options.num("port", 0));
+  config.trace_path = options.get("trace", "");
+  config.pairs = static_cast<std::size_t>(options.num("pairs", 1000));
+  config.rate = static_cast<double>(options.num("rate", 0));
+  config.connections =
+      static_cast<std::size_t>(options.num("connections", 4));
+  config.ttl = static_cast<std::uint8_t>(options.num("ttl", 4));
+  config.hit_lag = static_cast<std::size_t>(options.num("hit-lag", 16));
+  config.hosts = static_cast<std::uint32_t>(options.num("hosts", 32));
+  config.drain_ms = static_cast<std::uint32_t>(options.num("drain-ms", 1000));
+  config.seed = static_cast<std::uint64_t>(options.num("seed", 1));
+
+  const node::ReplayStats stats = node::run_replay(config);
+  std::cout << node::to_text(stats);
+  return 0;
+}
+
+int cmd_admin(const Options& options) {
+  if (!options.has("port")) {
+    std::cerr << "admin: --port is required\n";
+    return usage();
+  }
+  const std::string host = options.get("host", "127.0.0.1");
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(options.num("port", 0));
+  const std::string command = options.get("command", "stats") + "\n";
+
+  node::Fd fd = node::connect_tcp(host, port);
+  std::span<const std::uint8_t> remaining(
+      reinterpret_cast<const std::uint8_t*>(command.data()), command.size());
+  while (!remaining.empty()) {
+    const node::IoResult r = node::write_some(fd.get(), remaining);
+    if (r.status == node::IoStatus::closed) {
+      std::cerr << "admin: connection closed while sending\n";
+      return 1;
+    }
+    remaining = remaining.subspan(r.n);
+  }
+  // The daemon replies and closes; read to EOF.
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  for (;;) {
+    const node::IoResult r = node::read_some(fd.get(), buffer);
+    if (r.status == node::IoStatus::closed) break;
+    if (r.status == node::IoStatus::would_block) {
+      pollfd waiter{.fd = fd.get(), .events = POLLIN, .revents = 0};
+      (void)::poll(&waiter, 1, 1000);
+      continue;
+    }
+    std::cout.write(reinterpret_cast<const char*>(buffer.data()),
+                    static_cast<std::streamsize>(r.n));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  if (!options.parse_error.empty()) {
+    std::cerr << "aar_node: " << options.parse_error << "\n";
+    return usage();
+  }
+  if (const std::string bad = unknown_flag(options); !bad.empty()) {
+    std::cerr << "aar_node " << options.command << ": unknown flag --" << bad
+              << "\n";
+    return usage();
+  }
+  try {
+    if (options.command == "serve") return cmd_serve(options);
+    if (options.command == "replay") return cmd_replay(options);
+    if (options.command == "admin") return cmd_admin(options);
+  } catch (const std::exception& error) {
+    std::cerr << "aar_node: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

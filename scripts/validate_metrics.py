@@ -10,6 +10,7 @@ Usage: validate_metrics.py FILE [FILE ...]
 """
 
 import json
+import re
 import sys
 
 
@@ -127,6 +128,13 @@ NODE_COUNTERS = {
 NODE_GAUGES = {"node.connections", "node.rules"}
 NODE_TIMERS = {"node.process"}
 
+# Per-shard family (sharded daemon, ISSUE 8): node.shard.<i>.<leaf> with a
+# closed leaf set.  <i> is the shard index (0-based, daemon --threads).
+NODE_SHARD_COUNTER_RE = re.compile(
+    r"^node\.shard\.\d+\.(messages_in|bytes_in|bytes_out|relayed_in|"
+    r"relay_expired|pairs_mined)$")
+NODE_SHARD_GAUGE_RE = re.compile(r"^node\.shard\.\d+\.connections$")
+
 
 def check_sim_engine_family(doc, path):
     for name in doc["counters"]:
@@ -141,11 +149,19 @@ def check_sim_engine_family(doc, path):
 
 def check_node_family(doc, path):
     for name in doc["counters"]:
-        if name.startswith("node.") and name not in NODE_COUNTERS:
+        if name.startswith("node.shard."):
+            if not NODE_SHARD_COUNTER_RE.match(name):
+                fail(f"{path}.counters.{name}",
+                     "undocumented node.shard.* counter (docs/NODE.md)")
+        elif name.startswith("node.") and name not in NODE_COUNTERS:
             fail(f"{path}.counters.{name}",
                  "undocumented node.* counter (docs/NODE.md)")
     for name in doc["gauges"]:
-        if name.startswith("node.") and name not in NODE_GAUGES:
+        if name.startswith("node.shard."):
+            if not NODE_SHARD_GAUGE_RE.match(name):
+                fail(f"{path}.gauges.{name}",
+                     "undocumented node.shard.* gauge (docs/NODE.md)")
+        elif name.startswith("node.") and name not in NODE_GAUGES:
             fail(f"{path}.gauges.{name}",
                  "undocumented node.* gauge (docs/NODE.md)")
     for name in doc["timers"]:
@@ -206,6 +222,13 @@ def check_bench(doc, path):
             if counters.get(name, 0) <= 0:
                 fail(f"{path}.metrics.counters.{name}",
                      "n8_node record shows no daemon activity")
+        # The shard sweep (ISSUE 8) must record per-thread-count throughput
+        # and tail latency plus the 4-shard speedup.
+        for name in ("threads1_fps", "threads1_p99_ms", "threads4_fps",
+                     "threads4_p99_ms", "speedup_4t", "hardware_threads"):
+            if name not in doc["extra"]:
+                fail(f"{path}.extra.{name}",
+                     "n8_node record lacks the shard-sweep extras")
 
 
 def validate_file(filename):

@@ -1,0 +1,55 @@
+#include "mining/window_merge.hpp"
+
+#include <algorithm>
+
+namespace aar::mining {
+
+WindowMerger::WindowMerger(std::size_t shards)
+    : inputs_(shards == 0 ? 1 : shards), counts_(inputs_.size() + 1) {
+  count_ptrs_.reserve(counts_.size());
+}
+
+std::span<const trace::QueryReplyPair> WindowMerger::merge_into(
+    IncrementalRuleMiner& miner) {
+  block_.clear();
+  std::size_t total = 0;
+  for (const auto& input : inputs_) total += input.size();
+  block_.reserve(total);
+  for (const auto& input : inputs_) {
+    block_.insert(block_.end(), input.begin(), input.end());
+  }
+  std::sort(block_.begin(), block_.end(),
+            [](const trace::QueryReplyPair& a, const trace::QueryReplyPair& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.guid < b.guid;
+            });
+
+  const std::size_t cap = miner.config().window;
+  const bool truncated = cap != 0 && block_.size() > cap;
+  if (truncated) {
+    // Keep the newest `cap` pairs — the serial miner's FIFO eviction.
+    block_.erase(block_.begin(),
+                 block_.end() - static_cast<std::ptrdiff_t>(cap));
+  }
+
+  count_ptrs_.clear();
+  if (truncated) {
+    // Per-shard counts no longer match the truncated block; recount it
+    // whole (replace_window is partition-invariant, so one "shard" is as
+    // canonical as many).
+    ShardCounts& all = counts_.back();
+    all.clear();
+    all.count(std::span<const trace::QueryReplyPair>(block_));
+    count_ptrs_.push_back(&all);
+  } else {
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      counts_[i].clear();
+      counts_[i].count(std::span<const trace::QueryReplyPair>(inputs_[i]));
+      count_ptrs_.push_back(&counts_[i]);
+    }
+  }
+  miner.replace_window(block_, count_ptrs_);
+  return block_;
+}
+
+}  // namespace aar::mining

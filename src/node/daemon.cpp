@@ -19,51 +19,27 @@ namespace aar::node {
 
 namespace {
 
-using gnutella::MessageType;
-using gnutella::NeighborId;
-
-/// Oldest pending queries are evicted past this many outstanding GUIDs; a
-/// hit for an evicted query still relays (the capture keeps the reverse
-/// route), it just no longer joins into a mined pair.
-constexpr std::size_t kMaxPendingQueries = 1u << 16;
-
 constexpr std::size_t kReadChunk = 64 * 1024;
 
 std::span<const std::uint8_t> as_bytes(const std::string& text) {
   return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
 }
 
-std::uint32_t elapsed_ms(std::chrono::steady_clock::duration d) {
-  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(d);
-  return ms.count() < 0 ? 0 : static_cast<std::uint32_t>(ms.count());
+std::string shard_metric(std::size_t shard, const char* leaf) {
+  return "node.shard." + std::to_string(shard) + "." + leaf;
 }
 
 }  // namespace
 
-std::uint32_t RetryLadder::delay_ms(std::uint32_t attempt,
-                                    util::Rng& rng) const {
-  const std::uint32_t shift = std::min(attempt, 16u);
-  std::uint64_t base = std::uint64_t{std::max(backoff_ms, 1u)} << shift;
-  if (jitter_ms > 0) base += rng.below(std::uint64_t{jitter_ms} + 1);
-  return static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(base, 60u * 1000u));
-}
-
-Daemon::Daemon(NodeConfig config)
-    : config_(config),
-      ladder_{config.retries, config.backoff_ms, config.backoff_jitter_ms},
-      capture_({},
-               // Capture timestamps tick in observed messages, the daemon's
-               // only monotonic unit that replays deterministically.
-               [this] { return static_cast<double>(stats_.messages_in); }),
-      miner_(mining::MinerConfig{.window = config.window,
-                                 .min_support = config.min_support,
-                                 .min_confidence = 0.0}),
-      forwarder_(core::ForwarderConfig{.k = config.top_k,
-                                       .mode = core::SelectionMode::kTopK}),
-      rng_(config.seed) {
-  listen_fd_ = listen_tcp(config_.port, port_);
-  admin_fd_ = listen_tcp(config_.admin_port, admin_port_);
+Daemon::Daemon(NodeConfig config) : config_(std::move(config)) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (!is_loopback_address(config_.bind_addr) && !config_.allow_nonloopback) {
+    throw std::invalid_argument(
+        "refusing non-loopback listener " + config_.bind_addr +
+        ": pass --bind " + config_.bind_addr + " to opt in");
+  }
+  listen_fd_ = listen_tcp(config_.port, port_, config_.bind_addr);
+  admin_fd_ = listen_tcp(config_.admin_port, admin_port_);  // always loopback
   epoll_fd_ = Fd(::epoll_create1(0));
   if (!epoll_fd_.valid()) {
     throw std::system_error(errno, std::generic_category(), "epoll_create1");
@@ -84,6 +60,19 @@ Daemon::Daemon(NodeConfig config)
   watch(admin_fd_.get());
   watch(wake_fd_.get());
   read_buffer_.resize(kReadChunk);
+
+  shared_.windows = std::vector<ShardWindow>(config_.threads);
+  shared_.hub = std::make_unique<MiningHub>(
+      mining::MinerConfig{.window = config_.window,
+                          .min_support = config_.min_support,
+                          .min_confidence = 0.0},
+      config_.rebuild_every, config_.threads);
+  shards_.reserve(config_.threads);
+  for (std::size_t i = 0; i < config_.threads; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, config_, shared_));
+    shared_.shards.push_back(shards_.back().get());
+  }
+  shard_reported_.resize(config_.threads);
 }
 
 Daemon::~Daemon() = default;
@@ -91,28 +80,27 @@ Daemon::~Daemon() = default;
 void Daemon::stop() {
   stop_.store(true, std::memory_order_relaxed);
   const std::uint64_t one = 1;
-  [[maybe_unused]] const ssize_t n =
-      ::write(wake_fd_.get(), &one, sizeof one);
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_.get(), &one, sizeof one);
 }
 
 void Daemon::run() {
   if (ran_) throw std::logic_error("Daemon::run() may only be called once");
   ran_ = true;
+  for (auto& shard : shards_) shard->start();
   std::array<epoll_event, 64> events{};
   while (true) {
     if (stop_.load(std::memory_order_relaxed)) stopping_ = true;
     if (stopping_) {
       // Let the shutdown acknowledgement drain before leaving.
       const bool admin_pending = std::any_of(
-          connections_.begin(), connections_.end(), [](const auto& entry) {
-            return entry.second->is_admin && entry.second->queued() > 0;
+          admin_conns_.begin(), admin_conns_.end(), [](const auto& entry) {
+            return entry.second->queued() > 0;
           });
       if (!admin_pending) break;
     }
-    const auto now = Clock::now();
-    const int timeout = stopping_ ? 10 : poll_timeout_ms(now);
     const int n = ::epoll_wait(epoll_fd_.get(), events.data(),
-                               static_cast<int>(events.size()), timeout);
+                               static_cast<int>(events.size()),
+                               stopping_ ? 10 : 200);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw std::system_error(errno, std::generic_category(), "epoll_wait");
@@ -134,29 +122,24 @@ void Daemon::run() {
             ::read(wake_fd_.get(), &drained, sizeof drained);
         continue;
       }
-      // The connection can vanish while handling an earlier bit of the same
-      // event, so re-find it before every dispatch.
       if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
-        close_connection(fd);
+        close_admin(fd);
         continue;
       }
       if ((mask & EPOLLIN) != 0) {
-        if (const auto it = connections_.find(fd); it != connections_.end()) {
-          if (it->second->is_admin) {
-            on_admin_readable(*it->second);
-          } else {
-            on_peer_readable(*it->second);
-          }
+        if (const auto it = admin_conns_.find(fd); it != admin_conns_.end()) {
+          on_admin_readable(*it->second);
         }
       }
       if ((mask & EPOLLOUT) != 0) {
-        if (const auto it = connections_.find(fd); it != connections_.end()) {
-          on_writable(*it->second);
+        if (const auto it = admin_conns_.find(fd); it != admin_conns_.end()) {
+          admin_flush(*it->second);
         }
       }
     }
-    escalate_stalls(Clock::now());
   }
+  for (auto& shard : shards_) shard->request_stop();
+  for (auto& shard : shards_) shard->join();
   sync_metrics();
 }
 
@@ -167,20 +150,14 @@ void Daemon::accept_peers() {
     if (config_.send_buffer > 0) {
       set_send_buffer(client.get(), config_.send_buffer);
     }
-    const int fd = client.get();
-    auto connection = std::make_unique<Connection>();
-    connection->fd = std::move(client);
-    connection->id = next_neighbor_++;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
-      continue;  // kicked out before it ever joined
-    }
-    capture_.add_neighbor(connection->id);
-    peer_fd_[connection->id] = fd;
-    connections_[fd] = std::move(connection);
-    ++stats_.accepted;
+    const NeighborId id = next_neighbor_++;
+    const std::uint32_t shard =
+        static_cast<std::uint32_t>((id - 1) % config_.threads);
+    // Roster first, then hand-off: by the time the owning shard reads the
+    // first frame, every shard's flood set already includes the newcomer.
+    std::shared_ptr<Peer> entry = shared_.peers.add(id, shard);
+    shards_[shard]->adopt(std::move(client), id, std::move(entry));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -189,204 +166,48 @@ void Daemon::accept_admin() {
     Fd client = accept_client(admin_fd_.get());
     if (!client.valid()) return;
     const int fd = client.get();
-    auto connection = std::make_unique<Connection>();
+    auto connection = std::make_unique<AdminConnection>();
     connection->fd = std::move(client);
-    connection->is_admin = true;
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
       continue;
     }
-    connections_[fd] = std::move(connection);
+    admin_conns_[fd] = std::move(connection);
   }
 }
 
-void Daemon::on_peer_readable(Connection& connection) {
+void Daemon::on_admin_readable(AdminConnection& connection) {
   const int fd = connection.fd.get();
   for (;;) {
     const IoResult r = read_some(fd, read_buffer_);
     if (r.status == IoStatus::would_block) break;
     if (r.status == IoStatus::closed) {
-      close_connection(fd);
+      close_admin(fd);
       return;
     }
-    stats_.bytes_in += r.n;
-    connection.decoder.feed({read_buffer_.data(), r.n});
-    while (auto message = connection.decoder.next()) {
-      handle_message(connection, *message);
-    }
-    const std::uint64_t malformed = connection.decoder.malformed_frames();
-    stats_.malformed_frames += malformed - connection.malformed_reported;
-    connection.malformed_reported = malformed;
-    if (r.n < read_buffer_.size()) break;  // drained the socket
-  }
-}
-
-void Daemon::handle_message(Connection& connection,
-                            const gnutella::Message& message) {
-  static obs::Timer& timer = obs::Registry::global().timer("node.process");
-  const obs::Timer::Scope scope(timer);
-
-  ++stats_.messages_in;
-  const gnutella::RelayDecision decision =
-      capture_.on_message(connection.id, message);
-
-  switch (message.header.type) {
-    case MessageType::kQuery: {
-      ++stats_.queries_in;
-      if (decision.drop) {
-        ++stats_.dropped;
-        return;
-      }
-      // Rule-first neighbor selection over the live mined rule set; flood
-      // (the capture's decision) when no rule matches or every rule target
-      // is dead or stalled — the bottom rung of the ladder.
-      std::vector<NeighborId> targets;
-      bool rule = false;
-      const core::ForwardDecision forward =
-          forwarder_.decide(miner_.ruleset(), connection.id, rng_);
-      if (forward.rule_routed()) {
-        for (const NeighborId target : forward.targets) {
-          if (target == connection.id) continue;
-          const Connection* peer = find_peer(target);
-          if (peer != nullptr && !peer->stalled) targets.push_back(target);
-        }
-        if (!targets.empty()) {
-          rule = true;
-        } else {
-          ++stats_.degraded_floods;
-        }
-      }
-      if (!rule) {
-        for (const NeighborId target : decision.forward_to) {
-          if (find_peer(target) != nullptr) targets.push_back(target);
-        }
-      }
-      if (rule) {
-        ++stats_.rule_routed;
-      } else {
-        ++stats_.flooded;
-      }
-      const std::uint64_t guid = gnutella::fold_guid(message.header.guid);
-      if (pending_.try_emplace(guid,
-                               PendingQuery{
-                                   .from = connection.id,
-                                   .key = gnutella::normalize_query(
-                                       message.query.search),
-                                   .rule_routed = rule,
-                                   .seen = Clock::now(),
-                               })
-              .second) {
-        pending_order_.push_back(guid);
-        if (pending_order_.size() > kMaxPendingQueries) {
-          pending_.erase(pending_order_.front());
-          pending_order_.pop_front();
-        }
-      }
-      relay(message, decision, targets);
-      return;
-    }
-    case MessageType::kQueryHit: {
-      ++stats_.hits_in;
-      // Join against the outstanding query first: the pair feeds the miner
-      // whether or not the reverse path is still relayable.
-      const std::uint64_t guid = gnutella::fold_guid(message.header.guid);
-      if (const auto it = pending_.find(guid); it != pending_.end()) {
-        miner_.add(trace::QueryReplyPair{
-            .time = static_cast<double>(stats_.messages_in),
-            .guid = guid,
-            .source_host = it->second.from,
-            .replying_neighbor = connection.id,
-            .query = it->second.key,
-        });
-        ++stats_.pairs_mined;
-        if (it->second.rule_routed) ++stats_.routed_hits;
-        if (++since_rebuild_ >= config_.rebuild_every) take_snapshot();
-      }
-      if (decision.drop) {
-        ++stats_.dropped;
-        return;
-      }
-      std::vector<NeighborId> targets;
-      for (const NeighborId target : decision.forward_to) {
-        if (find_peer(target) != nullptr) targets.push_back(target);
-      }
-      if (targets.empty()) {
-        ++stats_.dropped;  // reverse path led to a departed neighbor
-        return;
-      }
-      relay(message, decision, targets);
-      return;
-    }
-    case MessageType::kPing: {
-      ++stats_.pings_in;
-      if (decision.drop) {
-        ++stats_.dropped;
-        return;
-      }
-      std::vector<NeighborId> targets;
-      for (const NeighborId target : decision.forward_to) {
-        if (find_peer(target) != nullptr) targets.push_back(target);
-      }
-      relay(message, decision, targets);
-      return;
-    }
-    case MessageType::kPong:
-    case MessageType::kPush:
-      ++stats_.dropped;  // the capture does not route these (no ping table)
-      return;
-  }
-}
-
-void Daemon::relay(const gnutella::Message& message,
-                   const gnutella::RelayDecision& decision,
-                   const std::vector<NeighborId>& targets) {
-  if (targets.empty()) return;
-  const std::vector<std::uint8_t> bytes =
-      serialize(relayed_message(message, decision));
-  for (const NeighborId target : targets) {
-    Connection* peer = find_peer(target);
-    if (peer == nullptr) continue;
-    enqueue(*peer, bytes);
-    if (message.header.type == MessageType::kQuery) {
-      ++stats_.queries_relayed;
-    } else if (message.header.type == MessageType::kQueryHit) {
-      ++stats_.hits_relayed;
-    }
-  }
-}
-
-void Daemon::on_admin_readable(Connection& connection) {
-  const int fd = connection.fd.get();
-  for (;;) {
-    const IoResult r = read_some(fd, read_buffer_);
-    if (r.status == IoStatus::would_block) break;
-    if (r.status == IoStatus::closed) {
-      close_connection(fd);
-      return;
-    }
-    connection.admin_input.append(
-        reinterpret_cast<const char*>(read_buffer_.data()), r.n);
-    if (connection.admin_input.size() > 4096) {
-      close_connection(fd);  // nobody types 4 KiB of admin commands
+    connection.input.append(reinterpret_cast<const char*>(read_buffer_.data()),
+                            r.n);
+    if (connection.input.size() > 4096) {
+      close_admin(fd);  // nobody types 4 KiB of admin commands
       return;
     }
     if (r.n < read_buffer_.size()) break;
   }
   std::size_t newline = 0;
-  while ((newline = connection.admin_input.find('\n')) != std::string::npos) {
-    std::string line = connection.admin_input.substr(0, newline);
-    connection.admin_input.erase(0, newline + 1);
+  while ((newline = connection.input.find('\n')) != std::string::npos) {
+    std::string line = connection.input.substr(0, newline);
+    connection.input.erase(0, newline + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     handle_admin_line(connection, line);
-    if (connections_.find(fd) == connections_.end()) return;  // closed
+    if (admin_conns_.find(fd) == admin_conns_.end()) return;  // closed
   }
 }
 
-void Daemon::handle_admin_line(Connection& connection,
+void Daemon::handle_admin_line(AdminConnection& connection,
                                const std::string& line) {
-  ++stats_.admin_requests;
+  admin_requests_.fetch_add(1, std::memory_order_relaxed);
   std::string reply;
   if (line == "health") {
     reply = "ok\n";
@@ -395,6 +216,8 @@ void Daemon::handle_admin_line(Connection& connection,
     reply = stats_text();
   } else if (line == "metrics") {
     reply = metrics_json();
+  } else if (line == "rules") {
+    reply = rules_text();
   } else if (line == "shutdown") {
     reply = "ok\n";
     stopping_ = true;
@@ -404,124 +227,47 @@ void Daemon::handle_admin_line(Connection& connection,
   // One command per connection: the reply's end is signalled by EOF, so
   // clients need no knowledge of each command's framing.
   connection.close_after_flush = true;
-  enqueue(connection, as_bytes(reply));
+  admin_enqueue(connection, as_bytes(reply));
 }
 
-void Daemon::enqueue(Connection& connection,
-                     std::span<const std::uint8_t> bytes) {
-  if (connection.queued() + bytes.size() > config_.max_outbound) {
-    // The peer stopped draining long enough to fill its budget: drop the
-    // frame and keep the stall clock running so the ladder can escalate.
-    if (!connection.stalled) {
-      connection.stalled = true;
-      connection.attempt = 0;
-      connection.stall_start = Clock::now();
-      connection.retry_at =
-          connection.stall_start +
-          std::chrono::milliseconds(ladder_.delay_ms(0, rng_));
-    }
-    return;
-  }
+void Daemon::admin_enqueue(AdminConnection& connection,
+                           std::span<const std::uint8_t> bytes) {
   connection.outbound.insert(connection.outbound.end(), bytes.begin(),
                              bytes.end());
-  flush(connection);
+  admin_flush(connection);
 }
 
-void Daemon::flush(Connection& connection) {
+void Daemon::admin_flush(AdminConnection& connection) {
   const int fd = connection.fd.get();
   while (connection.queued() > 0) {
-    const IoResult r = write_some(
-        fd, {connection.outbound.data() + connection.out_off,
-             connection.queued()});
+    const IoResult r =
+        write_some(fd, {connection.outbound.data() + connection.out_off,
+                        connection.queued()});
     if (r.status == IoStatus::closed) {
-      close_connection(fd);
-      return;  // `connection` is gone
+      close_admin(fd);
+      return;
     }
     if (r.status == IoStatus::would_block || r.n == 0) break;
     connection.out_off += r.n;
-    stats_.bytes_out += r.n;
   }
   if (connection.queued() == 0) {
     connection.outbound.clear();
     connection.out_off = 0;
-    if (connection.stalled) {
-      connection.stalled = false;
-      connection.attempt = 0;
-    }
-    want_writable(connection, false);
-    if (connection.close_after_flush) close_connection(fd);
+    admin_want_writable(connection, false);
+    if (connection.close_after_flush) close_admin(fd);
     return;
   }
-  // Partial write: reclaim the drained prefix occasionally and arm the
-  // ladder if this is a fresh stall.
-  if (connection.out_off > kReadChunk) {
-    connection.outbound.erase(
-        connection.outbound.begin(),
-        connection.outbound.begin() +
-            static_cast<std::ptrdiff_t>(connection.out_off));
-    connection.out_off = 0;
-  }
-  if (!connection.stalled) {
-    connection.stalled = true;
-    connection.attempt = 0;
-    connection.stall_start = Clock::now();
-    connection.retry_at =
-        connection.stall_start +
-        std::chrono::milliseconds(ladder_.delay_ms(0, rng_));
-  }
-  want_writable(connection, true);
+  admin_want_writable(connection, true);
 }
 
-void Daemon::on_writable(Connection& connection) { flush(connection); }
-
-void Daemon::escalate_stalls(Clock::time_point now) {
-  std::vector<int> stalled;
-  for (const auto& [fd, connection] : connections_) {
-    if (connection->stalled) stalled.push_back(fd);
-  }
-  for (const int fd : stalled) {
-    const auto it = connections_.find(fd);
-    if (it == connections_.end()) continue;
-    Connection& connection = *it->second;
-    if (!connection.stalled || now < connection.retry_at) continue;
-    if (ladder_.exhausted(connection.attempt) ||
-        elapsed_ms(now - connection.stall_start) >= config_.send_timeout_ms) {
-      // Ladder exhausted: the peer is dead.  Its rules are purged with the
-      // connection, so traffic it used to attract floods again.
-      ++stats_.send_timeouts;
-      close_connection(fd);
-      continue;
-    }
-    ++stats_.send_retries;
-    ++connection.attempt;
-    flush(connection);
-    const auto again = connections_.find(fd);
-    if (again == connections_.end() || !again->second->stalled) continue;
-    again->second->retry_at =
-        now + std::chrono::milliseconds(
-                  ladder_.delay_ms(again->second->attempt, rng_));
-  }
-}
-
-void Daemon::close_connection(int fd) {
-  const auto it = connections_.find(fd);
-  if (it == connections_.end()) return;
-  Connection& connection = *it->second;
+void Daemon::close_admin(int fd) {
+  const auto it = admin_conns_.find(fd);
+  if (it == admin_conns_.end()) return;
   (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
-  if (!connection.is_admin) {
-    ++stats_.disconnects;
-    capture_.remove_neighbor(connection.id);
-    peer_fd_.erase(connection.id);
-    // A departed neighbor's pairs would keep routing queries at a dead
-    // socket; purge them and refresh the rule set (same churn rule as the
-    // overlay policy).
-    miner_.purge_host(connection.id);
-    take_snapshot();
-  }
-  connections_.erase(it);
+  admin_conns_.erase(it);
 }
 
-void Daemon::want_writable(Connection& connection, bool enable) {
+void Daemon::admin_want_writable(AdminConnection& connection, bool enable) {
   if (connection.want_out == enable) return;
   epoll_event ev{};
   ev.events = EPOLLIN | (enable ? EPOLLOUT : 0u);
@@ -532,103 +278,150 @@ void Daemon::want_writable(Connection& connection, bool enable) {
   }
 }
 
-void Daemon::take_snapshot() {
-  miner_.snapshot();
-  since_rebuild_ = 0;
-  ++stats_.snapshots;
-  sync_metrics();
-}
-
-int Daemon::poll_timeout_ms(Clock::time_point now) const {
-  std::uint32_t timeout = 200;  // stop() latency bound when idle
-  for (const auto& [fd, connection] : connections_) {
-    if (!connection->stalled) continue;
-    const std::uint32_t wait =
-        connection->retry_at <= now ? 0
-                                    : elapsed_ms(connection->retry_at - now);
-    timeout = std::min(timeout, wait);
+void Daemon::aggregate(NodeStats& out) const {
+  out = NodeStats{};
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.admin_requests = admin_requests_.load(std::memory_order_relaxed);
+  out.snapshots = shared_.hub->snapshots();
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  for (const auto& shard : shards_) {
+    const ShardStats& s = shard->stats();
+    out.disconnects += get(s.disconnects);
+    out.bytes_in += get(s.bytes_in);
+    out.bytes_out += get(s.bytes_out);
+    out.messages_in += get(s.messages_in);
+    out.malformed_frames += get(s.malformed_frames);
+    out.queries_in += get(s.queries_in);
+    out.hits_in += get(s.hits_in);
+    out.pings_in += get(s.pings_in);
+    out.dropped += get(s.dropped);
+    out.queries_relayed += get(s.queries_relayed);
+    out.hits_relayed += get(s.hits_relayed);
+    out.rule_routed += get(s.rule_routed);
+    out.flooded += get(s.flooded);
+    out.routed_hits += get(s.routed_hits);
+    out.pairs_mined += get(s.pairs_mined);
+    out.send_retries += get(s.send_retries);
+    out.send_timeouts += get(s.send_timeouts);
+    out.degraded_floods += get(s.degraded_floods);
   }
-  return static_cast<int>(timeout);
 }
 
-Daemon::Connection* Daemon::find_peer(gnutella::NeighborId id) {
-  const auto fd = peer_fd_.find(id);
-  if (fd == peer_fd_.end()) return nullptr;
-  const auto it = connections_.find(fd->second);
-  return it == connections_.end() ? nullptr : it->second.get();
+const NodeStats& Daemon::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  aggregate(aggregate_);
+  return aggregate_;
+}
+
+std::uint64_t Daemon::messages_processed() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->stats().processed.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::string Daemon::rules_text() const {
+  const std::shared_ptr<const RoutingSnapshot> snapshot =
+      shared_.hub->routing();
+  std::ostringstream out;
+  snapshot->rules.save(out);
+  return out.str();
 }
 
 void Daemon::sync_metrics() {
   obs::Registry& registry = obs::Registry::global();
-  const auto bump = [&registry](const char* name, std::uint64_t current,
+  NodeStats current;
+  aggregate(current);
+  const auto bump = [&registry](const std::string& name, std::uint64_t now,
                                 std::uint64_t& reported) {
-    if (current > reported) {
-      registry.counter(name).add(current - reported);
-      reported = current;
+    if (now > reported) {
+      registry.counter(name).add(now - reported);
+      reported = now;
     }
   };
-  bump("node.accepted", stats_.accepted, reported_.accepted);
-  bump("node.disconnects", stats_.disconnects, reported_.disconnects);
-  bump("node.bytes_in", stats_.bytes_in, reported_.bytes_in);
-  bump("node.bytes_out", stats_.bytes_out, reported_.bytes_out);
-  bump("node.messages_in", stats_.messages_in, reported_.messages_in);
-  bump("node.malformed_frames", stats_.malformed_frames,
+  bump("node.accepted", current.accepted, reported_.accepted);
+  bump("node.disconnects", current.disconnects, reported_.disconnects);
+  bump("node.bytes_in", current.bytes_in, reported_.bytes_in);
+  bump("node.bytes_out", current.bytes_out, reported_.bytes_out);
+  bump("node.messages_in", current.messages_in, reported_.messages_in);
+  bump("node.malformed_frames", current.malformed_frames,
        reported_.malformed_frames);
-  bump("node.queries_in", stats_.queries_in, reported_.queries_in);
-  bump("node.hits_in", stats_.hits_in, reported_.hits_in);
-  bump("node.pings_in", stats_.pings_in, reported_.pings_in);
-  bump("node.dropped", stats_.dropped, reported_.dropped);
-  bump("node.queries_relayed", stats_.queries_relayed,
+  bump("node.queries_in", current.queries_in, reported_.queries_in);
+  bump("node.hits_in", current.hits_in, reported_.hits_in);
+  bump("node.pings_in", current.pings_in, reported_.pings_in);
+  bump("node.dropped", current.dropped, reported_.dropped);
+  bump("node.queries_relayed", current.queries_relayed,
        reported_.queries_relayed);
-  bump("node.hits_relayed", stats_.hits_relayed, reported_.hits_relayed);
-  bump("node.rule_routed", stats_.rule_routed, reported_.rule_routed);
-  bump("node.flooded", stats_.flooded, reported_.flooded);
-  bump("node.routed_hits", stats_.routed_hits, reported_.routed_hits);
-  bump("node.pairs_mined", stats_.pairs_mined, reported_.pairs_mined);
-  bump("node.snapshots", stats_.snapshots, reported_.snapshots);
-  bump("node.send_retries", stats_.send_retries, reported_.send_retries);
-  bump("node.send_timeouts", stats_.send_timeouts, reported_.send_timeouts);
-  bump("node.degraded_floods", stats_.degraded_floods,
+  bump("node.hits_relayed", current.hits_relayed, reported_.hits_relayed);
+  bump("node.rule_routed", current.rule_routed, reported_.rule_routed);
+  bump("node.flooded", current.flooded, reported_.flooded);
+  bump("node.routed_hits", current.routed_hits, reported_.routed_hits);
+  bump("node.pairs_mined", current.pairs_mined, reported_.pairs_mined);
+  bump("node.snapshots", current.snapshots, reported_.snapshots);
+  bump("node.send_retries", current.send_retries, reported_.send_retries);
+  bump("node.send_timeouts", current.send_timeouts, reported_.send_timeouts);
+  bump("node.degraded_floods", current.degraded_floods,
        reported_.degraded_floods);
-  bump("node.admin_requests", stats_.admin_requests,
+  bump("node.admin_requests", current.admin_requests,
        reported_.admin_requests);
   registry.gauge("node.connections")
-      .set(static_cast<double>(peer_fd_.size()));
+      .set(static_cast<double>(shared_.peers.list()->size()));
   registry.gauge("node.rules")
-      .set(static_cast<double>(miner_.ruleset().num_rules()));
+      .set(static_cast<double>(shared_.hub->routing()->rules.num_rules()));
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const ShardStats& s = shards_[i]->stats();
+    ShardReported& r = shard_reported_[i];
+    bump(shard_metric(i, "messages_in"), get(s.messages_in), r.messages_in);
+    bump(shard_metric(i, "bytes_in"), get(s.bytes_in), r.bytes_in);
+    bump(shard_metric(i, "bytes_out"), get(s.bytes_out), r.bytes_out);
+    bump(shard_metric(i, "relayed_in"), get(s.relayed_in), r.relayed_in);
+    bump(shard_metric(i, "relay_expired"), get(s.relay_expired),
+         r.relay_expired);
+    bump(shard_metric(i, "pairs_mined"), get(s.pairs_mined), r.pairs_mined);
+    registry.gauge(shard_metric(i, "connections"))
+        .set(static_cast<double>(get(s.connections)));
+  }
 }
 
 std::string Daemon::stats_text() const {
+  NodeStats current;
+  aggregate(current);
   std::ostringstream out;
   const auto line = [&out](const char* name, std::uint64_t value) {
     out << name << ' ' << value << '\n';
   };
-  line("node.accepted", stats_.accepted);
-  line("node.disconnects", stats_.disconnects);
-  line("node.connections", peer_fd_.size());
-  line("node.bytes_in", stats_.bytes_in);
-  line("node.bytes_out", stats_.bytes_out);
-  line("node.messages_in", stats_.messages_in);
-  line("node.malformed_frames", stats_.malformed_frames);
-  line("node.queries_in", stats_.queries_in);
-  line("node.hits_in", stats_.hits_in);
-  line("node.pings_in", stats_.pings_in);
-  line("node.dropped", stats_.dropped);
-  line("node.queries_relayed", stats_.queries_relayed);
-  line("node.hits_relayed", stats_.hits_relayed);
-  line("node.rule_routed", stats_.rule_routed);
-  line("node.flooded", stats_.flooded);
-  line("node.routed_hits", stats_.routed_hits);
-  line("node.pairs_mined", stats_.pairs_mined);
-  line("node.snapshots", stats_.snapshots);
-  line("node.rules", miner_.ruleset().num_rules());
-  line("node.send_retries", stats_.send_retries);
-  line("node.send_timeouts", stats_.send_timeouts);
-  line("node.degraded_floods", stats_.degraded_floods);
-  line("node.admin_requests", stats_.admin_requests);
+  line("node.accepted", current.accepted);
+  line("node.disconnects", current.disconnects);
+  line("node.connections", shared_.peers.list()->size());
+  line("node.bytes_in", current.bytes_in);
+  line("node.bytes_out", current.bytes_out);
+  line("node.messages_in", current.messages_in);
+  line("node.malformed_frames", current.malformed_frames);
+  line("node.queries_in", current.queries_in);
+  line("node.hits_in", current.hits_in);
+  line("node.pings_in", current.pings_in);
+  line("node.dropped", current.dropped);
+  line("node.queries_relayed", current.queries_relayed);
+  line("node.hits_relayed", current.hits_relayed);
+  line("node.rule_routed", current.rule_routed);
+  line("node.flooded", current.flooded);
+  line("node.routed_hits", current.routed_hits);
+  line("node.pairs_mined", current.pairs_mined);
+  line("node.snapshots", current.snapshots);
+  line("node.rules", shared_.hub->routing()->rules.num_rules());
+  line("node.send_retries", current.send_retries);
+  line("node.send_timeouts", current.send_timeouts);
+  line("node.degraded_floods", current.degraded_floods);
+  line("node.admin_requests", current.admin_requests);
   char fraction[64];
   std::snprintf(fraction, sizeof fraction, "node.routed_hit_fraction %.6f\n",
-                stats_.routed_hit_fraction());
+                current.routed_hit_fraction());
   out << fraction << "end\n";
   return out.str();
 }

@@ -1,47 +1,60 @@
 #pragma once
 // aar_node daemon (docs/NODE.md): the paper's "modified Gnutella node"
-// promoted from a test fixture to a networked servent.
+// promoted from a test fixture to a networked servent — sharded across
+// cores since ISSUE 8.
 //
-// A single-threaded epoll loop accepts neighbor connections on one port,
-// runs a gnutella::FrameDecoder per connection, and relays descriptors
-// through a gnutella::CaptureNode — the relayed frames carry the rewritten
-// header (TTL decremented, hops incremented).  Every query/reply pair the
-// relay observes feeds a mining::IncrementalRuleMiner whose snapshots drive
-// live neighbor selection through core::Forwarder: a query from a neighbor
-// with a matching antecedent goes only to the top-k consequent connections;
-// everything else floods.
+// The Daemon is the control plane: it binds the serving and admin
+// listeners, accepts neighbor connections in a single accept path that
+// assigns monotonically increasing connection ids, and pins each connection
+// to one of `threads` Shards by id ((id-1) % threads) — a deterministic
+// hand-off where SO_REUSEPORT's kernel hash would scatter connections
+// differently on every run.  Each Shard (src/node/shard.hpp) owns its
+// connections end to end: epoll set, FrameDecoder, outbound buffering, and
+// the send-stall RetryLadder.  Cross-connection state — the GUID
+// route/join table, the live-peer roster, and the mining window — lives in
+// SharedState (src/node/snapshot.hpp) behind the aar::par shape: shards
+// append observed pairs to private windows, a canonical-order merge
+// publishes an immutable routing snapshot, and relay reads it lock-free.
 //
-// Real sockets stall, so sends run behind the same retry ladder the overlay
-// search uses against injected faults (docs/FAULTS.md): a connection whose
-// outbound buffer stops draining is re-flushed under exponential backoff
-// with jitter; when the ladder is exhausted the peer is declared dead and
-// queries whose rules named only dead or stalled peers degrade to flooding.
+// With --threads 1 the daemon is byte-for-byte the old single-threaded
+// node on paced input: same relay decisions, same admin stats, same mined
+// rule bytes (the CI determinism gate and tests/test_node.cpp pin this,
+// including thread-invariance for N in {2,4,8}).
 //
-// A second port serves a plain-text admin protocol (one command per line:
-// `health`, `stats`, `metrics`, `shutdown`) exporting the `node.*` metric
-// family documented in docs/OBSERVABILITY.md.
+// The admin port serves a plain-text protocol (one command per line:
+// `health`, `stats`, `metrics`, `rules`, `shutdown`) exporting the
+// `node.*` and per-shard `node.shard.<i>.*` metric families documented in
+// docs/OBSERVABILITY.md.
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
-#include "core/forwarder.hpp"
-#include "gnutella/capture.hpp"
-#include "mining/incremental_miner.hpp"
 #include "node/net.hpp"
-#include "util/rng.hpp"
+#include "node/shard.hpp"
+#include "node/snapshot.hpp"
 
 namespace aar::node {
 
 struct NodeConfig {
-  /// Serving / admin ports on 127.0.0.1; 0 = ephemeral (query the accessor).
+  /// Serving / admin ports; 0 = ephemeral (query the accessor).
   std::uint16_t port = 0;
   std::uint16_t admin_port = 0;
+
+  /// Shard (thread) count for the serving path; 1 reproduces the old
+  /// single-threaded daemon exactly.  The admin listener always stays on
+  /// the control thread.
+  std::size_t threads = 1;
+
+  /// Serving listener address.  The default is loopback; any non-loopback
+  /// address is refused unless `allow_nonloopback` opts in (the CLI's
+  /// `--bind` flag sets both).  The admin listener is always loopback.
+  std::string bind_addr = "127.0.0.1";
+  bool allow_nonloopback = false;
 
   /// Mining window (pairs), support threshold, and snapshot cadence for the
   /// live rule set; defaults scale like overlay::AssociationPolicyConfig.
@@ -64,14 +77,15 @@ struct NodeConfig {
   /// and the connection counts as stalled until it drains.
   std::size_t max_outbound = 4u << 20;
 
-  std::uint64_t seed = 7;  ///< backoff jitter rng
+  /// Base seed for per-connection backoff jitter (see node::jitter_seed).
+  std::uint64_t seed = 7;
   /// SO_SNDBUF override for accepted peer sockets; 0 = kernel default
   /// (tests shrink it to exercise the ladder with few bytes).
   int send_buffer = 0;
 };
 
-/// Aggregate daemon counters (mirrored into the obs `node.*` family; the
-/// struct is the single-threaded loop's source of truth).
+/// Aggregate daemon counters (mirrored into the obs `node.*` family), summed
+/// over the shards plus the control thread's accept/admin counts.
 struct NodeStats {
   std::uint64_t accepted = 0;
   std::uint64_t disconnects = 0;
@@ -104,26 +118,11 @@ struct NodeStats {
   }
 };
 
-/// Deterministic backoff schedule for one stalled connection — the shape of
-/// the overlay search ladder (docs/FAULTS.md) applied to socket sends.
-struct RetryLadder {
-  std::uint32_t retries = 3;
-  std::uint32_t backoff_ms = 10;
-  std::uint32_t jitter_ms = 0;
-
-  /// Delay before retry `attempt` (0-based): backoff_ms doubled per attempt
-  /// (clamped to at least 1 ms) plus uniform jitter in [0, jitter_ms].
-  [[nodiscard]] std::uint32_t delay_ms(std::uint32_t attempt,
-                                       util::Rng& rng) const;
-  [[nodiscard]] bool exhausted(std::uint32_t attempt) const noexcept {
-    return attempt >= retries;
-  }
-};
-
 class Daemon {
  public:
-  /// Binds both listening sockets (throws std::system_error on failure);
-  /// serving starts at run().
+  /// Binds both listening sockets (throws std::system_error on failure;
+  /// std::invalid_argument for a non-loopback bind_addr without the
+  /// allow_nonloopback opt-in); serving starts at run().
   explicit Daemon(NodeConfig config);
   ~Daemon();
   Daemon(const Daemon&) = delete;
@@ -134,80 +133,55 @@ class Daemon {
     return admin_port_;
   }
 
-  /// Serve until stop() or an admin `shutdown` command.  Call once.
+  /// Serve until stop() or an admin `shutdown` command.  Call once; spawns
+  /// the shard threads and joins them before returning.
   void run();
 
   /// Thread-safe: wake the loop and make run() return after the current
   /// iteration.
   void stop();
 
-  /// Loop-owned state; read after run() returns (tests, bench) or from the
-  /// admin endpoint while serving.
-  [[nodiscard]] const NodeStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] const mining::IncrementalRuleMiner& miner() const noexcept {
-    return miner_;
-  }
-  [[nodiscard]] const gnutella::CaptureNode& capture() const noexcept {
-    return capture_;
-  }
+  /// Aggregated counters (thread-safe; exact once run() returned).
+  [[nodiscard]] const NodeStats& stats() const;
+
+  /// Frames fully processed across all shards (every side effect applied) —
+  /// lockstep drivers wait on this, not on messages_in, which ticks at
+  /// frame *start*.
+  [[nodiscard]] std::uint64_t messages_processed() const noexcept;
+
+  /// The published rule snapshot, serialized (core::RuleSet::save — the
+  /// canonical bytes the thread-invariance gate compares).  Thread-safe.
+  [[nodiscard]] std::string rules_text() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Connection {
+  struct AdminConnection {
     Fd fd;
-    gnutella::NeighborId id = 0;
-    bool is_admin = false;
-    gnutella::FrameDecoder decoder;
+    std::string input;
     std::vector<std::uint8_t> outbound;
     std::size_t out_off = 0;
-    // Send-stall ladder state.
-    bool stalled = false;
-    bool want_out = false;  ///< EPOLLOUT currently armed
-    std::uint32_t attempt = 0;
-    Clock::time_point stall_start{};
-    Clock::time_point retry_at{};
-    std::uint64_t malformed_reported = 0;  ///< decoder count synced to stats
-    // Admin line accumulator; an admin connection closes once flushed.
-    std::string admin_input;
     bool close_after_flush = false;
+    bool want_out = false;
 
     [[nodiscard]] std::size_t queued() const noexcept {
       return outbound.size() - out_off;
     }
   };
 
-  struct PendingQuery {
-    gnutella::NeighborId from = 0;
-    trace::QueryKey key = 0;
-    bool rule_routed = false;
-    Clock::time_point seen{};
-  };
-
   void accept_peers();
   void accept_admin();
-  void on_peer_readable(Connection& connection);
-  void on_writable(Connection& connection);
-  void handle_message(Connection& connection, const gnutella::Message& message);
-  void relay(const gnutella::Message& message,
-             const gnutella::RelayDecision& decision,
-             const std::vector<gnutella::NeighborId>& targets);
-  void on_admin_readable(Connection& connection);
-  void handle_admin_line(Connection& connection, const std::string& line);
-  void enqueue(Connection& connection, std::span<const std::uint8_t> bytes);
-  void flush(Connection& connection);
-  void escalate_stalls(Clock::time_point now);
-  void close_connection(int fd);
-  void want_writable(Connection& connection, bool enable);
-  void take_snapshot();
+  void on_admin_readable(AdminConnection& connection);
+  void handle_admin_line(AdminConnection& connection, const std::string& line);
+  void admin_enqueue(AdminConnection& connection,
+                     std::span<const std::uint8_t> bytes);
+  void admin_flush(AdminConnection& connection);
+  void close_admin(int fd);
+  void admin_want_writable(AdminConnection& connection, bool enable);
+  void aggregate(NodeStats& out) const;
   void sync_metrics();
-  [[nodiscard]] int poll_timeout_ms(Clock::time_point now) const;
   [[nodiscard]] std::string stats_text() const;
   [[nodiscard]] std::string metrics_json();
-  [[nodiscard]] Connection* find_peer(gnutella::NeighborId id);
 
   NodeConfig config_;
-  RetryLadder ladder_;
   Fd listen_fd_;
   Fd admin_fd_;
   Fd epoll_fd_;
@@ -215,21 +189,29 @@ class Daemon {
   std::uint16_t port_ = 0;
   std::uint16_t admin_port_ = 0;
 
-  gnutella::CaptureNode capture_;
-  mining::IncrementalRuleMiner miner_;
-  core::Forwarder forwarder_;
-  util::Rng rng_;
+  SharedState shared_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::unordered_map<int, std::unique_ptr<Connection>> connections_;  // by fd
-  std::unordered_map<gnutella::NeighborId, int> peer_fd_;  // neighbor -> fd
-  gnutella::NeighborId next_neighbor_ = 1;
+  std::unordered_map<int, std::unique_ptr<AdminConnection>> admin_conns_;
+  NeighborId next_neighbor_ = 1;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> admin_requests_{0};
 
-  std::unordered_map<std::uint64_t, PendingQuery> pending_;
-  std::deque<std::uint64_t> pending_order_;
-  std::size_t since_rebuild_ = 0;
+  /// Delta accounting for the per-shard node.shard.<i>.* counter family.
+  struct ShardReported {
+    std::uint64_t messages_in = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t relayed_in = 0;
+    std::uint64_t relay_expired = 0;
+    std::uint64_t pairs_mined = 0;
+  };
 
-  NodeStats stats_;
   NodeStats reported_;  ///< synced into obs counters (delta accounting)
+  std::vector<ShardReported> shard_reported_;
+  mutable std::mutex stats_mu_;
+  mutable NodeStats aggregate_;
+
   std::vector<std::uint8_t> read_buffer_;
   std::atomic<bool> stop_{false};
   bool stopping_ = false;

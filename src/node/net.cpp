@@ -42,7 +42,14 @@ void Fd::reset() noexcept {
   fd_ = -1;
 }
 
-Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port) {
+bool is_loopback_address(const std::string& addr) {
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, addr.c_str(), &parsed) != 1) return false;
+  return (ntohl(parsed.s_addr) >> 24) == 127;  // 127.0.0.0/8
+}
+
+Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port,
+              const std::string& bind_addr) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
   const int one = 1;
@@ -50,9 +57,12 @@ Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port) {
     throw_errno("setsockopt(SO_REUSEADDR)");
   }
   sockaddr_in addr = loopback(port);
+  if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("not an IPv4 address: " + bind_addr);
+  }
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) < 0) {
-    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+    throw_errno("bind(" + bind_addr + ":" + std::to_string(port) + ")");
   }
   if (::listen(fd.get(), 64) < 0) throw_errno("listen");
   sockaddr_in actual{};

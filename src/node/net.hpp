@@ -39,10 +39,17 @@ class Fd {
   int fd_ = -1;
 };
 
-/// Create a non-blocking listening TCP socket bound to 127.0.0.1:`port`
-/// (port 0 = ephemeral).  `bound_port` receives the actual port.
-/// Throws std::system_error on failure.
-[[nodiscard]] Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port);
+/// Create a non-blocking listening TCP socket bound to `addr`:`port`
+/// (port 0 = ephemeral).  `addr` must be an IPv4 dotted quad; the default
+/// is loopback — non-loopback binds are an explicit opt-in at the daemon
+/// layer (`--bind`, docs/NODE.md).  `bound_port` receives the actual port.
+/// Throws std::system_error on failure, std::invalid_argument on a
+/// malformed address.
+[[nodiscard]] Fd listen_tcp(std::uint16_t port, std::uint16_t& bound_port,
+                            const std::string& addr = "127.0.0.1");
+
+/// True when `addr` parses as IPv4 and lies in 127.0.0.0/8.
+[[nodiscard]] bool is_loopback_address(const std::string& addr);
 
 /// Blocking connect to host:port, then switch the socket non-blocking.
 /// Throws std::system_error on failure (connection refused included).

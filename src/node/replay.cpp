@@ -128,6 +128,13 @@ ReplayStats run_replay(const ReplayConfig& config) {
   latencies.reserve(pairs.size());
   std::vector<std::uint8_t> read_buffer(64 * 1024);
 
+  // Lockstep watch: the frame whose relayed copy we are waiting on.
+  std::uint64_t watch_guid = 0;
+  MessageType watch_type = MessageType::kPing;
+  bool watch_seen = false;
+  // Which connections have seen a relayed ping (roster barrier, below).
+  std::vector<char> ping_seen(n_conns, 0);
+
   const auto sweep_reads = [&] {
     for (std::size_t i = 0; i < n_conns; ++i) {
       Peer& peer = peers[i];
@@ -149,6 +156,11 @@ ReplayStats run_replay(const ReplayConfig& config) {
               header.hops != 1) {
             ++stats.ttl_violations;
           }
+          if (gnutella::fold_guid(header.guid) == watch_guid &&
+              header.type == watch_type) {
+            watch_seen = true;
+          }
+          if (header.type == MessageType::kPing) ping_seen[i] = 1;
           if (header.type == MessageType::kQuery) {
             ++stats.queries_received;
           } else if (header.type == MessageType::kQueryHit) {
@@ -195,12 +207,48 @@ ReplayStats run_replay(const ReplayConfig& config) {
     }
   };
 
+  if (config.lockstep && n_conns > 1) {
+    // Roster barrier.  connect() returns when the kernel completes the
+    // handshake, *before* the daemon's control thread accepts and registers
+    // the peer — so an immediate first frame could flood to fewer targets
+    // than the settled roster, breaking the thread-count stats invariance
+    // this mode exists to pin.  The daemon registers peers in accept order
+    // (FIFO on loopback), so once a ping sent on the LAST connection floods
+    // back to every other connection, the whole roster is registered.
+    send_all(n_conns - 1,
+             gnutella::serialize(gnutella::make_ping(
+                 gnutella::make_wire_guid(0),
+                 static_cast<std::uint8_t>(config.ttl))));
+    const auto roster_ready = [&] {
+      for (std::size_t i = 0; i + 1 < n_conns; ++i) {
+        if (!ping_seen[i]) return false;
+      }
+      return true;
+    };
+    const Clock::time_point give_up =
+        Clock::now() + std::chrono::milliseconds(config.lockstep_wait_ms);
+    while (!roster_ready() && Clock::now() < give_up) {
+      sweep_reads();
+      if (!roster_ready()) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    if (!roster_ready()) ++stats.lockstep_timeouts;
+  }
+
   const Clock::time_point start = Clock::now();
   const double spacing_s = config.rate > 0.0 ? 1.0 / config.rate : 0.0;
   std::size_t sent = 0;
   for (const Event& event : schedule) {
     const trace::QueryReplyPair& pair = pairs[event.pair];
     const gnutella::WireGuid guid = gnutella::make_wire_guid(pair.guid);
+    if (config.lockstep) {
+      // Arm the watch before sending: the relayed copy can arrive inside
+      // send_all's own sweep_reads.
+      watch_guid = gnutella::fold_guid(guid);
+      watch_type = event.is_hit ? MessageType::kQueryHit : MessageType::kQuery;
+      watch_seen = false;
+    }
     if (!event.is_hit) {
       char search[32];
       std::snprintf(search, sizeof search, "q%u", pair.query);
@@ -223,6 +271,17 @@ ReplayStats run_replay(const ReplayConfig& config) {
       ++stats.hits_sent;
     }
     ++sent;
+    if (config.lockstep) {
+      const Clock::time_point give_up =
+          Clock::now() + std::chrono::milliseconds(config.lockstep_wait_ms);
+      while (!watch_seen && Clock::now() < give_up) {
+        sweep_reads();
+        if (!watch_seen) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+      if (!watch_seen) ++stats.lockstep_timeouts;
+    }
     if ((sent & 0x1f) == 0) sweep_reads();
     if (spacing_s > 0.0) {
       const auto due = start + std::chrono::duration_cast<Clock::duration>(
@@ -267,7 +326,8 @@ std::string to_text(const ReplayStats& stats) {
       << "replay.hits_received " << stats.hits_received << '\n'
       << "replay.matched_hits " << stats.matched_hits << '\n'
       << "replay.ttl_violations " << stats.ttl_violations << '\n'
-      << "replay.malformed " << stats.malformed << '\n';
+      << "replay.malformed " << stats.malformed << '\n'
+      << "replay.lockstep_timeouts " << stats.lockstep_timeouts << '\n';
   char buffer[256];
   std::snprintf(buffer, sizeof buffer,
                 "replay.elapsed_s %.3f\nreplay.throughput_fps %.1f\n"

@@ -30,6 +30,15 @@ struct ReplayConfig {
   std::uint32_t hosts = 32;         ///< synthetic source-host population
   std::uint32_t drain_ms = 1000;    ///< post-send wait for trailing relays
   std::uint64_t seed = 1;
+  /// Wait for each frame's relayed copy (same GUID and type) before sending
+  /// the next one.  This serializes the daemon's processing order behind the
+  /// send order regardless of its shard count, which is what the CI
+  /// determinism gate needs: with lockstep on, admin stats and mined rule
+  /// bytes are invariant under --threads.  Frames the daemon legitimately
+  /// drops (duplicates, expired TTL) never come back; those cost one
+  /// `lockstep_wait_ms` timeout each and are counted in lockstep_timeouts.
+  bool lockstep = false;
+  std::uint32_t lockstep_wait_ms = 500;
 };
 
 struct ReplayStats {
@@ -41,6 +50,7 @@ struct ReplayStats {
   std::uint64_t matched_hits = 0;      ///< hits routed back to their query's origin
   std::uint64_t ttl_violations = 0;    ///< relayed frame without ttl-1 / hops+1
   std::uint64_t malformed = 0;         ///< decode failures on relayed bytes
+  std::uint64_t lockstep_timeouts = 0; ///< lockstep waits that hit the deadline
   double elapsed_s = 0.0;
   double throughput_fps = 0.0;         ///< frames sent per second
   double latency_p50_ms = 0.0;         ///< query send -> matched hit arrival

@@ -1,0 +1,199 @@
+#pragma once
+// One shard of the aar_node daemon (docs/NODE.md): an epoll loop owning a
+// subset of the neighbor connections — their FrameDecoders, outbound
+// buffers, and send-stall retry ladders — plus a thread-safe inbox through
+// which the acceptor hands off new connections and other shards hand off
+// relay frames for peers this shard owns.
+//
+// Connections are pinned to shards by connection id (id assigned in accept
+// order by the control thread, shard = (id - 1) % threads), so the
+// connection-to-shard map is a pure function of accept order — the
+// deterministic alternative to SO_REUSEPORT's kernel 4-tuple hash, which
+// would scatter ids across shards differently on every run.
+//
+// Protocol behavior (relay decisions, mining joins, stats attribution) is
+// the old single-threaded daemon's, verbatim; see Shard::handle_message.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/forwarder.hpp"
+#include "gnutella/codec.hpp"
+#include "node/net.hpp"
+#include "node/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace aar::node {
+
+struct NodeConfig;  // daemon.hpp
+
+/// Deterministic backoff schedule for one stalled connection — the shape of
+/// the overlay search ladder (docs/FAULTS.md) applied to socket sends.
+struct RetryLadder {
+  std::uint32_t retries = 3;
+  std::uint32_t backoff_ms = 10;
+  std::uint32_t jitter_ms = 0;
+
+  /// Delay before retry `attempt` (0-based): backoff_ms doubled per attempt
+  /// (clamped to at least 1 ms) plus uniform jitter in [0, jitter_ms].
+  [[nodiscard]] std::uint32_t delay_ms(std::uint32_t attempt,
+                                       util::Rng& rng) const;
+  [[nodiscard]] bool exhausted(std::uint32_t attempt) const noexcept {
+    return attempt >= retries;
+  }
+};
+
+/// Seed for a connection's private jitter rng: a splitmix64 mix of the
+/// daemon seed and the connection id.  A connection's backoff schedule is a
+/// pure function of (seed, id) — shard assignment and the interleaving of
+/// other connections' stalls cannot change it (the old daemon drew jitter
+/// from one shared rng, so every stall perturbed every later schedule).
+[[nodiscard]] std::uint64_t jitter_seed(std::uint64_t daemon_seed,
+                                        NeighborId id) noexcept;
+
+/// Per-shard counters, written relaxed on the shard thread and aggregated
+/// by the control thread for admin stats / the obs `node.*` family.
+struct ShardStats {
+  std::atomic<std::uint64_t> disconnects{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> messages_in{0};
+  std::atomic<std::uint64_t> malformed_frames{0};
+  std::atomic<std::uint64_t> queries_in{0};
+  std::atomic<std::uint64_t> hits_in{0};
+  std::atomic<std::uint64_t> pings_in{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> queries_relayed{0};
+  std::atomic<std::uint64_t> hits_relayed{0};
+  std::atomic<std::uint64_t> rule_routed{0};
+  std::atomic<std::uint64_t> flooded{0};
+  std::atomic<std::uint64_t> routed_hits{0};
+  std::atomic<std::uint64_t> pairs_mined{0};
+  std::atomic<std::uint64_t> send_retries{0};
+  std::atomic<std::uint64_t> send_timeouts{0};
+  std::atomic<std::uint64_t> degraded_floods{0};
+  /// Shard-only (node.shard.<i>.* family): frames delivered to this shard's
+  /// peers from other shards' decisions, and hand-offs whose target peer
+  /// was gone by delivery time.
+  std::atomic<std::uint64_t> relayed_in{0};
+  std::atomic<std::uint64_t> relay_expired{0};
+  /// Frames fully processed (incremented after all side effects) — the
+  /// quiesce signal for lockstep drivers.
+  std::atomic<std::uint64_t> processed{0};
+  /// Live connections owned by this shard (gauge).
+  std::atomic<std::uint64_t> connections{0};
+};
+
+class Shard {
+ public:
+  Shard(std::size_t index, const NodeConfig& config, SharedState& shared);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Spawn the shard thread (Daemon::run).
+  void start();
+  /// Ask the loop to exit; join() afterwards.
+  void request_stop();
+  void join();
+
+  /// Hand off an accepted connection (control thread).  The shard adds it
+  /// to its epoll set and owns it from then on.
+  void adopt(Fd peer, NeighborId id, std::shared_ptr<Peer> entry);
+  /// Hand off a relay frame for peers this shard owns (other shards).
+  void deliver(RelayFrame frame);
+
+  [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Connection {
+    Fd fd;
+    NeighborId id = 0;
+    std::shared_ptr<Peer> peer;  // directory entry (stalled flag)
+    gnutella::FrameDecoder decoder;
+    std::vector<std::uint8_t> outbound;
+    std::size_t out_off = 0;
+    bool stalled = false;
+    bool want_out = false;  ///< EPOLLOUT currently armed
+    std::uint32_t attempt = 0;
+    Clock::time_point stall_start{};
+    Clock::time_point retry_at{};
+    std::uint64_t malformed_reported = 0;
+    util::Rng jitter_rng{0};  ///< reseeded from jitter_seed(seed, id)
+
+    [[nodiscard]] std::size_t queued() const noexcept {
+      return outbound.size() - out_off;
+    }
+  };
+
+  struct Adopt {
+    Fd fd;
+    NeighborId id = 0;
+    std::shared_ptr<Peer> peer;
+  };
+  using Inbound = std::variant<Adopt, RelayFrame>;
+
+  void run();
+  void wake();
+  void drain_inbox();
+  void on_readable(Connection& connection);
+  void on_writable(Connection& connection) { flush(connection); }
+  void handle_message(Connection& connection,
+                      const gnutella::Message& message);
+  void dispatch(const gnutella::Message& message,
+                const gnutella::Header& header,
+                const PeerList& roster,
+                const std::vector<NeighborId>& targets);
+  void enqueue(Connection& connection, std::span<const std::uint8_t> bytes);
+  void flush(Connection& connection);
+  void set_stalled(Connection& connection, bool stalled);
+  void escalate_stalls(Clock::time_point now);
+  void close_connection(int fd);
+  void want_writable(Connection& connection, bool enable);
+  [[nodiscard]] int poll_timeout_ms(Clock::time_point now) const;
+  [[nodiscard]] Connection* local_peer(NeighborId id);
+  /// Cached peer roster, re-fetched when the directory version moves.
+  const PeerList& roster();
+  /// Cached routing snapshot, re-fetched when the hub publishes.
+  const RoutingSnapshot& routing();
+  void mine_pair(const trace::QueryReplyPair& pair);
+
+  const std::size_t index_;
+  const NodeConfig& config_;
+  SharedState& shared_;
+  RetryLadder ladder_;
+  core::Forwarder forwarder_;
+  util::Rng rng_;  // forwarder API only (kTopK never draws)
+
+  Fd epoll_fd_;
+  Fd wake_fd_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex inbox_mu_;
+  std::vector<Inbound> inbox_;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;  // by fd
+  std::unordered_map<NeighborId, int> peer_fd_;
+
+  std::uint64_t roster_version_ = 0;
+  std::shared_ptr<const PeerList> roster_;
+  std::uint64_t routing_version_ = 0;
+  std::shared_ptr<const RoutingSnapshot> routing_;
+
+  ShardStats stats_;
+  std::vector<std::uint8_t> read_buffer_;
+  std::vector<NeighborId> target_scratch_;
+};
+
+}  // namespace aar::node

@@ -1,0 +1,128 @@
+#include "node/snapshot.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace aar::node {
+
+const std::shared_ptr<Peer>* find_peer(const PeerList& list,
+                                       NeighborId id) noexcept {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), id,
+      [](const std::shared_ptr<Peer>& peer, NeighborId want) {
+        return peer->id < want;
+      });
+  if (it == list.end() || (*it)->id != id) return nullptr;
+  return &*it;
+}
+
+std::shared_ptr<Peer> PeerDirectory::add(NeighborId id, std::uint32_t shard) {
+  auto peer = std::make_shared<Peer>();
+  peer->id = id;
+  peer->shard = shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<PeerList>(*list_);
+  next->insert(std::upper_bound(next->begin(), next->end(), id,
+                                [](NeighborId want,
+                                   const std::shared_ptr<Peer>& entry) {
+                                  return want < entry->id;
+                                }),
+               peer);
+  list_ = std::move(next);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  return peer;
+}
+
+void PeerDirectory::remove(NeighborId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<PeerList>(*list_);
+  next->erase(std::remove_if(next->begin(), next->end(),
+                             [id](const std::shared_ptr<Peer>& entry) {
+                               return entry->id == id;
+                             }),
+              next->end());
+  list_ = std::move(next);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::shared_ptr<const PeerList> PeerDirectory::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return list_;
+}
+
+void ShardWindow::append(const trace::QueryReplyPair& pair) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pairs_.push_back(pair);
+}
+
+void ShardWindow::collect(const std::vector<NeighborId>& live,
+                          std::vector<trace::QueryReplyPair>& out) {
+  const auto alive = [&live](NeighborId id) {
+    return std::binary_search(live.begin(), live.end(), id);
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    if (alive(static_cast<NeighborId>(it->source_host)) &&
+        alive(static_cast<NeighborId>(it->replying_neighbor))) {
+      out.push_back(*it);
+      ++it;
+    } else {
+      it = pairs_.erase(it);
+    }
+  }
+}
+
+void ShardWindow::trim_before(double cutoff) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!pairs_.empty() && pairs_.front().time < cutoff) pairs_.pop_front();
+}
+
+MiningHub::MiningHub(mining::MinerConfig config, std::size_t rebuild_every,
+                     std::size_t shards)
+    : rebuild_every_(rebuild_every == 0 ? 1 : rebuild_every),
+      miner_(config),
+      merger_(shards),
+      snapshot_(std::make_shared<const RoutingSnapshot>()) {}
+
+void MiningHub::merge(std::vector<ShardWindow>& windows,
+                      const PeerList& live) {
+  std::vector<NeighborId> ids;
+  ids.reserve(live.size());
+  for (const std::shared_ptr<Peer>& peer : live) ids.push_back(peer->id);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    auto& input = merger_.input(i);
+    input.clear();
+    windows[i].collect(ids, input);
+  }
+  const std::span<const trace::QueryReplyPair> block =
+      merger_.merge_into(miner_);
+  const double cutoff = block.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : block.front().time;
+  for (ShardWindow& window : windows) window.trim_before(cutoff);
+  since_merge_.store(0, std::memory_order_release);
+  publish_locked();
+}
+
+void MiningHub::purge(NeighborId host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  miner_.purge_host(host);
+  publish_locked();
+}
+
+std::shared_ptr<const RoutingSnapshot> MiningHub::routing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+void MiningHub::publish_locked() {
+  auto next = std::make_shared<RoutingSnapshot>();
+  next->rules = miner_.snapshot();  // canonical (sorted) rule state
+  snapshot_ = std::move(next);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace aar::node

@@ -1,0 +1,226 @@
+#pragma once
+// Shared state for the sharded aar_node daemon (docs/NODE.md): everything
+// the per-shard socket loops must agree on lives here, behind the same
+// determinism discipline aar::par established — shards accumulate privately
+// and a canonical-order merge publishes immutable snapshots that the hot
+// loops read lock-free.
+//
+//   * QueryTable — the GUID join/route table (query GUID -> origin
+//     connection, query key, rule-routed flag), striped by GUID hash so
+//     shards handling different connections rarely contend.  It unifies the
+//     old daemon's CaptureNode reverse-route map and its pending-query join
+//     table: one insert at query time serves both the QueryHit reverse path
+//     and the miner join.
+//   * PeerDirectory — the live-connection roster.  Mutating it (accept /
+//     disconnect) publishes a fresh immutable, id-sorted PeerList;
+//     shards cache the list by version counter and re-fetch only when the
+//     version moves, so steady-state lookups are one relaxed atomic load
+//     plus a binary search.  Per-peer `stalled` flags are atomics written
+//     by the owning shard's retry ladder and read by every shard's
+//     rule-target filter.
+//   * MiningHub — the miner behind the aar::par shape.  Shards append
+//     observed pairs to their own ShardWindow; every `rebuild_every` pairs
+//     the crossing shard performs a canonical merge (gather shard windows
+//     in shard-index order, sort by capture time, truncate to the mining
+//     window, IncrementalRuleMiner::replace_window) and publishes the
+//     snapshot rule set as an immutable RoutingSnapshot via pointer swap.
+//     Relay never blocks on mining: queries route against the last
+//     published snapshot.
+//
+// Determinism: capture time is a global atomic message counter, so every
+// observed pair carries a unique timestamp; the merged block is the
+// time-sorted union of the shard windows, which is invariant under the
+// connection-to-shard partition.  RuleSet serialization is canonical
+// (sorted), so the published rule bytes depend only on the window's pair
+// multiset — the same argument that makes aar::par byte-identical to the
+// serial miner for any shard count.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ruleset.hpp"
+#include "gnutella/capture.hpp"
+#include "mining/incremental_miner.hpp"
+#include "mining/window_merge.hpp"
+#include "trace/record.hpp"
+
+namespace aar::node {
+
+using gnutella::NeighborId;
+
+/// Everything the daemon remembers about an observed query GUID: where it
+/// came from (the QueryHit reverse path), its normalized key and routing
+/// mode (the miner join).  `minable` is false for queries that were
+/// observed but not relayed (duplicates keep the original entry; a
+/// TTL-expired first sighting records the route but never joins a pair) —
+/// exactly the old daemon's route-table/pending-table split.
+struct QueryState {
+  NeighborId from = 0;
+  trace::QueryKey key = 0;
+  bool rule_routed = false;
+  bool minable = false;
+};
+
+/// GUID -> QueryState, striped by GUID hash.  Entries are never evicted:
+/// ids are 64-bit folds of wire GUIDs and the serving gates stay far below
+/// memory pressure (the old daemon kept its route table unbounded too).
+class QueryTable {
+ public:
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, QueryState> map;
+  };
+
+  /// The stripe owning `guid`; callers lock `stripe.mu` around map access.
+  [[nodiscard]] Stripe& stripe(std::uint64_t guid) noexcept {
+    // SplitMix64 finalizer — the same GUID spreader aar::par shards by.
+    std::uint64_t z = guid + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return stripes_[(z ^ (z >> 31)) & (kStripes - 1)];
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// One live neighbor connection as every shard sees it.  `stalled` is
+/// written by the owning shard's send ladder and read by rule-target
+/// filters on all shards.
+struct Peer {
+  NeighborId id = 0;
+  std::uint32_t shard = 0;
+  std::atomic<bool> stalled{false};
+};
+
+/// Immutable, id-sorted roster published on every accept/disconnect.
+using PeerList = std::vector<std::shared_ptr<Peer>>;
+
+/// Find `id` in an id-sorted roster; nullptr when departed.
+[[nodiscard]] const std::shared_ptr<Peer>* find_peer(const PeerList& list,
+                                                     NeighborId id) noexcept;
+
+class PeerDirectory {
+ public:
+  PeerDirectory() : list_(std::make_shared<const PeerList>()) {}
+
+  std::shared_ptr<Peer> add(NeighborId id, std::uint32_t shard);
+  void remove(NeighborId id);
+
+  /// Current roster (immutable snapshot; cheap shared_ptr copy).
+  [[nodiscard]] std::shared_ptr<const PeerList> list() const;
+  /// Bumped on every add/remove — shards poll this relaxed and re-fetch
+  /// list() only when it moved.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const PeerList> list_;
+  std::atomic<std::uint64_t> version_{1};
+};
+
+/// One shard's private window of observed query/reply pairs, appended on
+/// the shard thread and gathered under the merge lock.  Pairs naming
+/// departed peers are pruned lazily at gather time; after each merge the
+/// window is trimmed to the merged block's oldest timestamp so per-shard
+/// storage stays bounded by window + rebuild_every.
+class ShardWindow {
+ public:
+  void append(const trace::QueryReplyPair& pair);
+  /// Copy live pairs (both endpoints in the id-sorted `live` roster) into
+  /// `out`, erasing dead pairs in place.
+  void collect(const std::vector<NeighborId>& live,
+               std::vector<trace::QueryReplyPair>& out);
+  /// Drop pairs with time < cutoff (already merged out of the window).
+  void trim_before(double cutoff);
+
+ private:
+  std::mutex mu_;
+  std::deque<trace::QueryReplyPair> pairs_;
+};
+
+/// The published routing state: the rule set shards forward against.
+struct RoutingSnapshot {
+  core::RuleSet rules;
+};
+
+/// Owns the miner and the published RoutingSnapshot.  All mutation happens
+/// under one merge mutex (count-boundary merges and disconnect purges);
+/// readers take the current snapshot through an atomic version + pointer.
+class MiningHub {
+ public:
+  MiningHub(mining::MinerConfig config, std::size_t rebuild_every,
+            std::size_t shards);
+
+  /// Account one observed pair; true when this pair crosses the
+  /// rebuild_every boundary and the caller must merge().
+  [[nodiscard]] bool note_pair() noexcept {
+    return since_merge_.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+           rebuild_every_;
+  }
+
+  /// Canonical merge: gather every shard window (shard-index order), prune
+  /// dead peers, sort by capture time, truncate to the mining window,
+  /// replace_window + snapshot, publish.
+  void merge(std::vector<ShardWindow>& windows, const PeerList& live);
+
+  /// Disconnect purge: drop `host`'s pairs from the miner and republish —
+  /// the next published snapshot never routes at the dead peer.  Eviction
+  /// accounting is untouched (purge_host), so concurrent disconnect order
+  /// cannot skew mining.evictions.
+  void purge(NeighborId host);
+
+  [[nodiscard]] std::shared_ptr<const RoutingSnapshot> routing() const;
+  [[nodiscard]] std::uint64_t routing_version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t snapshots() const noexcept {
+    return snapshots_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void publish_locked();
+
+  const std::size_t rebuild_every_;
+  std::atomic<std::uint64_t> since_merge_{0};
+  std::atomic<std::uint64_t> snapshots_{0};
+  std::atomic<std::uint64_t> version_{1};
+
+  mutable std::mutex mu_;
+  mining::IncrementalRuleMiner miner_;
+  mining::WindowMerger merger_;
+  std::shared_ptr<const RoutingSnapshot> snapshot_;
+};
+
+class Shard;
+
+/// A frame crossing shards: serialized once at the deciding shard, enqueued
+/// on the owning shard's connections.
+struct RelayFrame {
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+  gnutella::MessageType type{};
+  std::vector<NeighborId> targets;
+};
+
+/// The state every shard loop shares; owned by the Daemon, outlives shards.
+struct SharedState {
+  QueryTable queries;
+  PeerDirectory peers;
+  std::vector<ShardWindow> windows;  // index = shard
+  std::unique_ptr<MiningHub> hub;
+  /// Capture clock: one tick per decoded frame, globally unique pair times.
+  std::atomic<std::uint64_t> clock{0};
+  /// Wired by the Daemon after construction (cross-shard relay hand-off).
+  std::vector<Shard*> shards;
+};
+
+}  // namespace aar::node

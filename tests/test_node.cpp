@@ -1,19 +1,26 @@
-// aar_node daemon tests (docs/NODE.md): the retry-ladder schedule, the
-// in-process loopback end-to-end loop (serve + replay on real sockets,
-// rules mined from relayed traffic, rule-routed hits), the plain-text admin
-// endpoint, the send-stall ladder against a peer that stops reading, and
-// the aar_node CLI's flag validation (driven through the real binary).
+// aar_node daemon tests (docs/NODE.md): the retry-ladder schedule and its
+// per-connection jitter seeding, the in-process loopback end-to-end loop
+// (serve + replay on real sockets, rules mined from relayed traffic,
+// rule-routed hits), shard-count invariance of stats and mined rule bytes
+// under a lockstep driver, disconnect purges across shards, the plain-text
+// admin endpoint, the send-stall ladder against a peer that stops reading,
+// the loopback-only default bind, and the aar_node CLI's flag validation
+// (driven through the real binary).
 
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <span>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/ruleset.hpp"
 #include "gnutella/codec.hpp"
 #include "node/daemon.hpp"
 #include "node/net.hpp"
@@ -55,6 +62,38 @@ TEST(RetryLadder, HugeAttemptDoesNotOverflow) {
   const RetryLadder ladder{.retries = 100, .backoff_ms = 1000, .jitter_ms = 0};
   util::Rng rng(1);
   EXPECT_LE(ladder.delay_ms(99, rng), 60u * 1000u);  // capped at a minute
+}
+
+// --- per-connection jitter seeding ---------------------------------------
+
+std::vector<std::uint32_t> ladder_schedule(std::uint64_t daemon_seed,
+                                           NeighborId id) {
+  const RetryLadder ladder{.retries = 6, .backoff_ms = 10, .jitter_ms = 100};
+  util::Rng rng(jitter_seed(daemon_seed, id));
+  std::vector<std::uint32_t> delays;
+  for (std::uint32_t attempt = 0; attempt < ladder.retries; ++attempt) {
+    delays.push_back(ladder.delay_ms(attempt, rng));
+  }
+  return delays;
+}
+
+TEST(RetryLadder, JitterScheduleIsAPureFunctionOfSeedAndConnectionId) {
+  // The old daemon drew jitter from one shared rng, so every stall
+  // perturbed every later connection's schedule; per-connection seeding
+  // makes the schedule reproducible from (daemon seed, connection id)
+  // alone, whatever else the daemon is doing.
+  EXPECT_EQ(ladder_schedule(7, 3), ladder_schedule(7, 3));
+  EXPECT_NE(ladder_schedule(7, 3), ladder_schedule(7, 4));
+  EXPECT_NE(ladder_schedule(7, 3), ladder_schedule(8, 3));
+}
+
+TEST(RetryLadder, JitterSeedSpreadsAdjacentIds) {
+  // splitmix64 mixing: adjacent connection ids must not land on nearby
+  // rng states (a plain seed+id would).
+  const std::uint64_t a = jitter_seed(7, 1);
+  const std::uint64_t b = jitter_seed(7, 2);
+  EXPECT_NE(a, b);
+  EXPECT_GT(a ^ b, 0xFFFFull);  // differ in more than the low bits
 }
 
 // --- in-process loopback end to end --------------------------------------
@@ -177,7 +216,11 @@ TEST(NodeDaemon, SendStallLadderDisconnectsDeadPeer) {
   NodeConfig config;
   config.retries = 2;
   config.backoff_ms = 5;
-  config.send_timeout_ms = 400;
+  // Generous stall budget so the ladder dies by rung exhaustion, not the
+  // wall clock: under TSan the shard can spend > budget relaying the 16 MiB
+  // backlog before the first retry timer ever fires, which would jump
+  // straight to send_timeouts with send_retries still 0.
+  config.send_timeout_ms = 60'000;
   config.send_buffer = 4096;  // shrink the kernel's slack
   DaemonHarness harness(config);
 
@@ -229,6 +272,248 @@ TEST(NodeDaemon, SendStallLadderDisconnectsDeadPeer) {
   EXPECT_GE(stats.disconnects, 1u);
 }
 
+// --- loopback-only default bind ------------------------------------------
+
+TEST(NodeDaemon, DefaultConfigurationRefusesNonLoopbackBind) {
+  NodeConfig config;
+  config.bind_addr = "0.0.0.0";  // no allow_nonloopback opt-in
+  try {
+    Daemon daemon(config);
+    FAIL() << "constructing a non-loopback daemon without the opt-in must "
+              "throw";
+  } catch (const std::invalid_argument& error) {
+    // The refusal must name the flag that opts in.
+    EXPECT_NE(std::string(error.what()).find("--bind"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(NodeDaemon, ExplicitOptInAllowsNonLoopbackBind) {
+  NodeConfig config;
+  config.bind_addr = "0.0.0.0";
+  config.allow_nonloopback = true;
+  EXPECT_NO_THROW({ Daemon daemon(config); });
+}
+
+// --- shard-count invariance (lockstep driver) ----------------------------
+
+/// Drives a daemon frame by frame over real loopback sockets, waiting for
+/// each frame to be fully processed (Daemon::messages_processed) before
+/// sending the next — the in-process analogue of `aar_node replay
+/// --lockstep 1`.  Serializing the processing order makes stats and mined
+/// rule bytes comparable across shard counts.
+struct LockstepDriver {
+  explicit LockstepDriver(Daemon& daemon, std::size_t connections)
+      : daemon(daemon) {
+    for (std::size_t i = 0; i < connections; ++i) {
+      conns.push_back(connect_tcp("127.0.0.1", daemon.port()));
+    }
+    // connect_tcp returns when the kernel completes the handshake, which is
+    // before the control thread accepts and registers the peer; a frame sent
+    // now could flood to fewer targets than the settled roster.  Wait for
+    // every peer to be accepted (the roster add happens-before the accepted
+    // bump) so relay decisions see the same peer list on every run.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (daemon.stats().accepted < connections) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ADD_FAILURE() << "peers never accepted";
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void send(std::size_t conn, const std::vector<std::uint8_t>& bytes) {
+    const std::uint64_t target = daemon.messages_processed() + 1;
+    std::span<const std::uint8_t> remaining(bytes.data(), bytes.size());
+    while (!remaining.empty()) {
+      const IoResult r = write_some(conns[conn].get(), remaining);
+      ASSERT_NE(r.status, IoStatus::closed);
+      if (r.status == IoStatus::would_block) {
+        drain();
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        continue;
+      }
+      remaining = remaining.subspan(r.n);
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (daemon.messages_processed() < target) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "frame never processed";
+      drain();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  /// Discard whatever the daemon relayed back so its sends never stall.
+  void drain() {
+    std::vector<std::uint8_t> buffer(16 * 1024);
+    for (Fd& fd : conns) {
+      if (!fd.valid()) continue;
+      for (;;) {
+        const IoResult r = read_some(fd.get(), buffer);
+        if (r.status != IoStatus::ok || r.n == 0) break;
+      }
+    }
+  }
+
+  Daemon& daemon;
+  std::vector<Fd> conns;
+};
+
+/// The synthetic association workload: host h's queries arrive from conn
+/// h % C and its hits always arrive through conn (h % C + 1) % C, so the
+/// miner has stable (query key -> replying neighbor) structure to find.
+void drive_association_workload(LockstepDriver& driver, std::size_t pairs,
+                                std::uint32_t hosts, std::size_t conns,
+                                std::size_t lag) {
+  std::size_t next_hit = 0;
+  const auto send_query = [&](std::size_t i) {
+    const std::uint32_t h = static_cast<std::uint32_t>(i) % hosts;
+    char search[16];
+    std::snprintf(search, sizeof search, "q%u", h);
+    driver.send(h % conns,
+                gnutella::serialize(gnutella::make_query(
+                    gnutella::make_wire_guid(1000 + i), 4, 0, search)));
+  };
+  const auto send_hit = [&](std::size_t i) {
+    const std::uint32_t h = static_cast<std::uint32_t>(i) % hosts;
+    char file[16];
+    std::snprintf(file, sizeof file, "f%u", h);
+    driver.send((h % conns + 1) % conns,
+                gnutella::serialize(gnutella::make_query_hit(
+                    gnutella::make_wire_guid(1000 + i), 4,
+                    gnutella::make_wire_guid(h),
+                    {gnutella::HitResult{.file_index = h,
+                                         .file_size = 1,
+                                         .file_name = file}})));
+  };
+  for (std::size_t i = 0; i < pairs; ++i) {
+    send_query(i);
+    while (next_hit + lag <= i) send_hit(next_hit++);
+  }
+  while (next_hit < pairs) send_hit(next_hit++);
+}
+
+std::string describe(const NodeStats& stats) {
+  std::ostringstream out;
+  out << stats.accepted << ' ' << stats.disconnects << ' ' << stats.bytes_in
+      << ' ' << stats.bytes_out << ' ' << stats.messages_in << ' '
+      << stats.malformed_frames << ' ' << stats.queries_in << ' '
+      << stats.hits_in << ' ' << stats.pings_in << ' ' << stats.dropped << ' '
+      << stats.queries_relayed << ' ' << stats.hits_relayed << ' '
+      << stats.rule_routed << ' ' << stats.flooded << ' ' << stats.routed_hits
+      << ' ' << stats.pairs_mined << ' ' << stats.snapshots << ' '
+      << stats.send_retries << ' ' << stats.send_timeouts << ' '
+      << stats.degraded_floods;
+  return out.str();
+}
+
+/// Wait until the aggregated stats stop moving (trailing cross-shard relay
+/// deliveries land asynchronously even after every frame is processed).
+std::string settled_stats(Daemon& daemon) {
+  std::string last = describe(daemon.stats());
+  int stable = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::string now = describe(daemon.stats());
+    if (now == last) {
+      // Three quiet reads in a row: trailing deliveries can straggle when
+      // the host is oversubscribed (ctest -j on one core).
+      if (++stable >= 3) return now;
+    } else {
+      stable = 0;
+      last = std::move(now);
+    }
+  }
+  return last;
+}
+
+TEST(NodeDaemon, StatsAndRuleBytesAreInvariantUnderShardCount) {
+  std::string reference_stats;
+  std::string reference_rules;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    NodeConfig config;
+    config.threads = threads;
+    config.min_support = 2;
+    config.rebuild_every = 16;
+    DaemonHarness harness(config);
+    LockstepDriver driver(harness.daemon, 4);
+    drive_association_workload(driver, 240, 8, 4, 8);
+
+    const std::string stats = settled_stats(harness.daemon);
+    // Capture the published rule bytes while the connections are still
+    // open: closing them purges the departed peers from the rule set.
+    const std::string rules = harness.daemon.rules_text();
+    EXPECT_GT(harness.daemon.stats().rule_routed, 0u) << "threads=" << threads;
+    EXPECT_GT(harness.daemon.stats().snapshots, 0u) << "threads=" << threads;
+    if (threads == 1) {
+      reference_stats = stats;
+      reference_rules = rules;
+      EXPECT_NE(rules.find('\n'), std::string::npos) << "empty rule set";
+    } else {
+      EXPECT_EQ(stats, reference_stats) << "threads=" << threads;
+      EXPECT_EQ(rules, reference_rules) << "threads=" << threads;
+    }
+  }
+}
+
+// --- disconnect purge across shards --------------------------------------
+
+TEST(NodeDaemon, DisconnectPurgesDeadPeersFromPublishedRulesAcrossShards) {
+  NodeConfig config;
+  config.threads = 2;
+  config.min_support = 2;
+  config.rebuild_every = 16;
+  DaemonHarness harness(config);
+  // Accept order pins ids 1..4; shard = (id-1) % 2, so ids 3 and 4 sit on
+  // different shards.
+  LockstepDriver driver(harness.daemon, 4);
+  drive_association_workload(driver, 160, 8, 4, 8);
+  (void)settled_stats(harness.daemon);
+
+  const auto published = [&] {
+    std::istringstream in(harness.daemon.rules_text());
+    return core::RuleSet::load(in);
+  };
+  // The daemon mines neighbor-to-neighbor associations: queries arriving
+  // from neighbor A are answered through neighbor B.
+  const auto routes_at = [](const core::RuleSet& rules, NeighborId antecedent,
+                            NeighborId consequent) {
+    const auto targets = rules.top_k(antecedent, 4);
+    return std::find(targets.begin(), targets.end(), consequent) !=
+           targets.end();
+  };
+
+  // Hosts with h % 4 == 1 query via neighbor 2 and are answered via
+  // neighbor 3 (shard 0); h % 4 == 2 query via neighbor 3, answered via
+  // neighbor 4 (shard 1).  Both rules must be live before the kills.
+  const core::RuleSet before = published();
+  ASSERT_TRUE(routes_at(before, 2, 3)) << "workload mined no rule 2 -> 3";
+  ASSERT_TRUE(routes_at(before, 3, 4)) << "workload mined no rule 3 -> 4";
+
+  // Kill both hit-carrying connections — one per shard.
+  driver.conns[2].reset();
+  driver.conns[3].reset();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (harness.daemon.stats().disconnects < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "daemon never noticed the disconnects";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Each close purges the departed peer and republishes: the next snapshot
+  // a shard routes against cannot name either dead neighbor.
+  const core::RuleSet after = published();
+  EXPECT_FALSE(routes_at(after, 2, 3)) << "purge left a rule at dead peer 3";
+  EXPECT_FALSE(routes_at(after, 3, 4)) << "purge left a rule at dead peer 4";
+}
+
 // --- CLI flag validation (real binary) -----------------------------------
 
 int run_cli(const std::string& args) {
@@ -254,6 +539,21 @@ TEST(NodeCli, FlagWithoutValueIsRejected) {
 }
 
 TEST(NodeCli, ReplayRequiresPort) { EXPECT_EQ(run_cli("replay"), 2); }
+
+TEST(NodeCli, ServeThreadsMustBeAnIntegerInRange) {
+  EXPECT_EQ(run_cli("serve --threads 0"), 2);
+  EXPECT_EQ(run_cli("serve --threads 65"), 2);
+  EXPECT_EQ(run_cli("serve --threads four"), 2);
+  EXPECT_EQ(run_cli("serve --threads 4x"), 2);
+  EXPECT_EQ(run_cli("serve --threads -1"), 2);
+}
+
+TEST(NodeCli, ServeBindRejectsMalformedAddress) {
+  // A bad --bind is a runtime failure (listen_tcp refuses the address),
+  // not a usage error.
+  EXPECT_EQ(run_cli("serve --bind 256.1.1.1 --port 0 --admin-port 0"), 1);
+  EXPECT_EQ(run_cli("serve --bind not-an-addr --port 0 --admin-port 0"), 1);
+}
 
 TEST(NodeCli, AdminFailsCleanlyWhenDaemonUnreachable) {
   // Port 1 is never bound in the test environment; connect must fail and

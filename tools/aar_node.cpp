@@ -69,30 +69,35 @@ struct Options {
 int usage() {
   std::cerr
       << "usage:\n"
-         "  aar_node serve [--port P] [--admin-port P] [--window N]\n"
-         "                 [--min-support T] [--rebuild-every N] [--top-k K]\n"
-         "                 [--retries R] [--backoff-ms B] [--jitter-ms J]\n"
+         "  aar_node serve [--port P] [--admin-port P] [--threads N]\n"
+         "                 [--bind ADDR] [--window N] [--min-support T]\n"
+         "                 [--rebuild-every N] [--top-k K] [--retries R]\n"
+         "                 [--backoff-ms B] [--jitter-ms J]\n"
          "                 [--send-timeout-ms T] [--send-buffer B] [--seed S]\n"
          "  aar_node replay --port P [--host H] [--trace F.aartr]\n"
          "                 [--pairs N] [--rate N] [--connections C]\n"
          "                 [--ttl T] [--hit-lag N] [--hosts N]\n"
-         "                 [--drain-ms N] [--seed S]\n"
+         "                 [--drain-ms N] [--lockstep 0|1] [--seed S]\n"
          "  aar_node admin --port P [--host H] [--command CMD]\n"
-         "serve binds 127.0.0.1 only (port 0 = ephemeral, printed at\n"
-         "startup); replay needs a running daemon; admin commands are\n"
-         "health | stats | metrics | shutdown.\n";
+         "serve binds 127.0.0.1 unless --bind opts into another address\n"
+         "(the admin port always stays loopback; port 0 = ephemeral,\n"
+         "printed at startup); --threads shards the serving path across\n"
+         "N cores (1..64).  replay needs a running daemon; --lockstep 1\n"
+         "waits for each frame's relayed copy before sending the next,\n"
+         "making daemon stats invariant under --threads.  admin commands\n"
+         "are health | stats | metrics | rules | shutdown.\n";
   return 2;
 }
 
 const std::map<std::string, std::vector<std::string>, std::less<>>
     kAllowedFlags = {
         {"serve",
-         {"port", "admin-port", "window", "min-support", "rebuild-every",
-          "top-k", "retries", "backoff-ms", "jitter-ms", "send-timeout-ms",
-          "send-buffer", "seed"}},
+         {"port", "admin-port", "threads", "bind", "window", "min-support",
+          "rebuild-every", "top-k", "retries", "backoff-ms", "jitter-ms",
+          "send-timeout-ms", "send-buffer", "seed"}},
         {"replay",
          {"port", "host", "trace", "pairs", "rate", "connections", "ttl",
-          "hit-lag", "hosts", "drain-ms", "seed"}},
+          "hit-lag", "hosts", "drain-ms", "lockstep", "seed"}},
         {"admin", {"port", "host", "command"}},
 };
 
@@ -137,6 +142,26 @@ int cmd_serve(const Options& options) {
   node::NodeConfig config;
   config.port = static_cast<std::uint16_t>(options.num("port", 0));
   config.admin_port = static_cast<std::uint16_t>(options.num("admin-port", 0));
+  if (options.has("threads")) {
+    // Strict: a shard count that silently parsed to 0 (or to garbage) would
+    // change serving semantics, so reject anything but a plain 1..64.
+    const std::string& raw = options.flags.at("threads");
+    char* end = nullptr;
+    const long threads = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || threads < 1 ||
+        threads > 64) {
+      std::cerr << "serve: --threads must be an integer in 1..64, got '"
+                << raw << "'\n";
+      return usage();
+    }
+    config.threads = static_cast<std::size_t>(threads);
+  }
+  if (options.has("bind")) {
+    // --bind is the explicit opt-in for non-loopback serving; the Daemon
+    // refuses non-loopback addresses that arrive any other way.
+    config.bind_addr = options.flags.at("bind");
+    config.allow_nonloopback = true;
+  }
   config.window = static_cast<std::size_t>(options.num("window", 4096));
   config.min_support =
       static_cast<std::uint32_t>(options.num("min-support", 2));
@@ -193,6 +218,7 @@ int cmd_replay(const Options& options) {
   config.hit_lag = static_cast<std::size_t>(options.num("hit-lag", 16));
   config.hosts = static_cast<std::uint32_t>(options.num("hosts", 32));
   config.drain_ms = static_cast<std::uint32_t>(options.num("drain-ms", 1000));
+  config.lockstep = options.num("lockstep", 0) != 0;
   config.seed = static_cast<std::uint64_t>(options.num("seed", 1));
 
   const node::ReplayStats stats = node::run_replay(config);

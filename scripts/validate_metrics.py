@@ -124,9 +124,13 @@ NODE_COUNTERS = {
     "node.send_timeouts",
     "node.degraded_floods",
     "node.admin_requests",
+    "node.peer.handshakes",
+    "node.peer.pongs",
+    "node.peer.missed",
+    "node.peer.reconnects",
 }
 NODE_GAUGES = {"node.connections", "node.rules"}
-NODE_TIMERS = {"node.process"}
+NODE_TIMERS = {"node.process", "node.peer.rtt"}
 
 # Per-shard family (sharded daemon, ISSUE 8): node.shard.<i>.<leaf> with a
 # closed leaf set.  <i> is the shard index (0-based, daemon --threads).

@@ -8,6 +8,9 @@
 #include <array>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
@@ -40,6 +43,7 @@ Daemon::Daemon(NodeConfig config) : config_(std::move(config)) {
   }
   listen_fd_ = listen_tcp(config_.port, port_, config_.bind_addr);
   admin_fd_ = listen_tcp(config_.admin_port, admin_port_);  // always loopback
+  shared_.serving_port = port_;  // advertised in keepalive Pongs
   epoll_fd_ = Fd(::epoll_create1(0));
   if (!epoll_fd_.valid()) {
     throw std::system_error(errno, std::generic_category(), "epoll_create1");
@@ -87,6 +91,9 @@ void Daemon::run() {
   if (ran_) throw std::logic_error("Daemon::run() may only be called once");
   ran_ = true;
   for (auto& shard : shards_) shard->start();
+  // Startup peers dial in flag order, so their neighbor ids are a pure
+  // function of the command line (reconnects reuse the id).
+  for (const PeerAddress& peer : config_.peers) dial_peer(peer);
   std::array<epoll_event, 64> events{};
   while (true) {
     if (stop_.load(std::memory_order_relaxed)) stopping_ = true;
@@ -141,6 +148,25 @@ void Daemon::run() {
   for (auto& shard : shards_) shard->request_stop();
   for (auto& shard : shards_) shard->join();
   sync_metrics();
+}
+
+NeighborId Daemon::dial_peer(const PeerAddress& address) {
+  const NeighborId id = next_neighbor_++;
+  const std::uint32_t shard =
+      static_cast<std::uint32_t>((id - 1) % config_.threads);
+  // The shard joins the link to the roster only once the handshake
+  // completes (Shard::establish) — a half-open link must not attract
+  // relay traffic.
+  shards_[shard]->dial(address, id);
+  return id;
+}
+
+void Daemon::drop_peer(NeighborId id) {
+  // Connection-to-shard pinning is a pure function of the id, so the drop
+  // routes without any directory lookup (the link may even be mid-redial).
+  const std::uint32_t shard =
+      static_cast<std::uint32_t>((id - 1) % config_.threads);
+  shards_[shard]->drop(id);
 }
 
 void Daemon::accept_peers() {
@@ -218,6 +244,30 @@ void Daemon::handle_admin_line(AdminConnection& connection,
     reply = metrics_json();
   } else if (line == "rules") {
     reply = rules_text();
+  } else if (line.rfind("connect ", 0) == 0) {
+    const std::optional<PeerAddress> address =
+        parse_host_port(line.substr(8));
+    if (address.has_value()) {
+      reply = "ok " + std::to_string(dial_peer(*address)) + "\n";
+    } else {
+      reply = "err connect expects host:port\n";
+    }
+  } else if (line.rfind("disconnect ", 0) == 0) {
+    const std::string arg = line.substr(11);
+    const bool digits =
+        !arg.empty() && std::all_of(arg.begin(), arg.end(), [](unsigned char c) {
+          return c >= '0' && c <= '9';
+        });
+    char* end = nullptr;
+    const unsigned long long id =
+        digits ? std::strtoull(arg.c_str(), &end, 10) : 0;
+    if (digits && end != nullptr && *end == '\0' && id >= 1 &&
+        id <= std::numeric_limits<NeighborId>::max()) {
+      drop_peer(static_cast<NeighborId>(id));
+      reply = "ok\n";
+    } else {
+      reply = "err disconnect expects a neighbor id\n";
+    }
   } else if (line == "shutdown") {
     reply = "ok\n";
     stopping_ = true;
@@ -306,6 +356,10 @@ void Daemon::aggregate(NodeStats& out) const {
     out.send_retries += get(s.send_retries);
     out.send_timeouts += get(s.send_timeouts);
     out.degraded_floods += get(s.degraded_floods);
+    out.peer_handshakes += get(s.peer_handshakes);
+    out.peer_pongs += get(s.peer_pongs);
+    out.peer_missed += get(s.peer_missed);
+    out.peer_reconnects += get(s.peer_reconnects);
   }
 }
 
@@ -367,6 +421,12 @@ void Daemon::sync_metrics() {
        reported_.degraded_floods);
   bump("node.admin_requests", current.admin_requests,
        reported_.admin_requests);
+  bump("node.peer.handshakes", current.peer_handshakes,
+       reported_.peer_handshakes);
+  bump("node.peer.pongs", current.peer_pongs, reported_.peer_pongs);
+  bump("node.peer.missed", current.peer_missed, reported_.peer_missed);
+  bump("node.peer.reconnects", current.peer_reconnects,
+       reported_.peer_reconnects);
   registry.gauge("node.connections")
       .set(static_cast<double>(shared_.peers.list()->size()));
   registry.gauge("node.rules")
@@ -419,6 +479,10 @@ std::string Daemon::stats_text() const {
   line("node.send_timeouts", current.send_timeouts);
   line("node.degraded_floods", current.degraded_floods);
   line("node.admin_requests", current.admin_requests);
+  line("node.peer.handshakes", current.peer_handshakes);
+  line("node.peer.pongs", current.peer_pongs);
+  line("node.peer.missed", current.peer_missed);
+  line("node.peer.reconnects", current.peer_reconnects);
   char fraction[64];
   std::snprintf(fraction, sizeof fraction, "node.routed_hit_fraction %.6f\n",
                 current.routed_hit_fraction());

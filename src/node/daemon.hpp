@@ -22,9 +22,15 @@
 // including thread-invariance for N in {2,4,8}).
 //
 // The admin port serves a plain-text protocol (one command per line:
-// `health`, `stats`, `metrics`, `rules`, `shutdown`) exporting the
-// `node.*` and per-shard `node.shard.<i>.*` metric families documented in
-// docs/OBSERVABILITY.md.
+// `health`, `stats`, `metrics`, `rules`, `connect host:port`,
+// `disconnect <id>`, `shutdown`) exporting the `node.*` and per-shard
+// `node.shard.<i>.*` metric families documented in docs/OBSERVABILITY.md.
+//
+// Since ISSUE 9 daemons also peer with each other: `--peer host:port`
+// (repeatable) and admin `connect` dial outbound links that run the
+// Gnutella 0.4 CONNECT/OK handshake (src/node/peering.hpp), join the
+// roster as first-class neighbors, exchange TTL-1 keepalive pings, and
+// reconnect with deterministic backoff when they die.
 
 #include <atomic>
 #include <cstdint>
@@ -82,6 +88,18 @@ struct NodeConfig {
   /// SO_SNDBUF override for accepted peer sockets; 0 = kernel default
   /// (tests shrink it to exercise the ladder with few bytes).
   int send_buffer = 0;
+
+  /// Outbound peers dialed at startup (`--peer host:port`, repeatable).
+  /// Each runs the Gnutella 0.4 CONNECT/OK handshake and reconnects with
+  /// deterministic backoff when the link dies (docs/NODE.md "Peering").
+  std::vector<PeerAddress> peers;
+  /// Keepalive cadence on peered links; 0 disables keepalive entirely
+  /// (lockstep determinism tests pass a huge interval instead so the
+  /// peer counters stay comparable).
+  std::uint32_t ping_interval_ms = 2'000;
+  /// Consecutive unanswered keepalive pings before a peered link is
+  /// declared dead and purged from the published rules.
+  std::uint32_t pong_budget = 3;
 };
 
 /// Aggregate daemon counters (mirrored into the obs `node.*` family), summed
@@ -108,6 +126,10 @@ struct NodeStats {
   std::uint64_t send_timeouts = 0;
   std::uint64_t degraded_floods = 0;  ///< rules named only dead/stalled peers
   std::uint64_t admin_requests = 0;
+  std::uint64_t peer_handshakes = 0;  ///< completed 0.4 handshakes (either side)
+  std::uint64_t peer_pongs = 0;       ///< keepalive pongs received
+  std::uint64_t peer_missed = 0;      ///< keepalive pings unanswered in time
+  std::uint64_t peer_reconnects = 0;  ///< outbound re-dial attempts
 
   /// Fraction of observed query-hits that answered a rule-routed query —
   /// the daemon's live analogue of the paper's success measure.
@@ -152,6 +174,14 @@ class Daemon {
   /// The published rule snapshot, serialized (core::RuleSet::save — the
   /// canonical bytes the thread-invariance gate compares).  Thread-safe.
   [[nodiscard]] std::string rules_text() const;
+
+  /// Dial an outbound peer (also behind admin `connect host:port`).  The
+  /// owning shard runs connect/handshake/reconnect; returns the assigned
+  /// neighbor id.  Control thread only (run() startup / admin handler).
+  NeighborId dial_peer(const PeerAddress& address);
+  /// Close the link with `id` and cancel its reconnect schedule (admin
+  /// `disconnect <id>`).  Control thread only.
+  void drop_peer(NeighborId id);
 
  private:
   struct AdminConnection {

@@ -93,6 +93,43 @@ Fd connect_tcp(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+Fd connect_tcp_async(const std::string& host, std::uint16_t port,
+                     bool& in_progress) {
+  in_progress = false;
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Fd{};
+  sockaddr_in addr = loopback(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return Fd{};
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  try {
+    make_nonblocking(fd.get());
+  } catch (const std::system_error&) {
+    return Fd{};
+  }
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) {
+      in_progress = true;
+      return fd;
+    }
+    return Fd{};
+  }
+}
+
+int socket_error(int fd) noexcept {
+  int error = 0;
+  socklen_t len = sizeof error;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len) < 0) {
+    return errno;
+  }
+  return error;
+}
+
 Fd accept_client(int listen_fd) {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);

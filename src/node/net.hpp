@@ -55,6 +55,20 @@ class Fd {
 /// Throws std::system_error on failure (connection refused included).
 [[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
 
+/// Start a non-blocking connect to host:port (the dialing half of the
+/// peering handshake, docs/NODE.md).  On return the socket is non-blocking
+/// with TCP_NODELAY set; `in_progress` reports whether the connect is still
+/// completing (EINPROGRESS) — arm EPOLLOUT and check socket_error() when it
+/// fires.  Returns an invalid Fd on immediate failure (bad address,
+/// resource exhaustion) instead of throwing: dial failures feed a reconnect
+/// schedule, not an abort.
+[[nodiscard]] Fd connect_tcp_async(const std::string& host,
+                                   std::uint16_t port, bool& in_progress);
+
+/// Pending SO_ERROR on a socket (0 = none): the verdict of an asynchronous
+/// connect once the socket reports writability.
+[[nodiscard]] int socket_error(int fd) noexcept;
+
 /// Accept one pending connection on a non-blocking listening socket; the
 /// returned socket is non-blocking with TCP_NODELAY set.  Returns an
 /// invalid Fd when no connection is pending.

@@ -1,0 +1,130 @@
+#include "node/peering.hpp"
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace aar::node {
+
+namespace {
+
+constexpr std::string_view kTerminator = "\n\n";
+
+/// First index where `buffer` and `text` disagree, capped at the shorter
+/// length.
+std::size_t common_prefix(const std::vector<std::uint8_t>& buffer,
+                          std::string_view text) {
+  const std::size_t n = std::min(buffer.size(), text.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buffer[i] != static_cast<std::uint8_t>(text[i])) return i;
+  }
+  return n;
+}
+
+}  // namespace
+
+HandshakeStatus BannerScanner::feed(std::span<const std::uint8_t> bytes) {
+  switch (status_) {
+    case HandshakeStatus::pending:
+      buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+      classify();
+      return status_;
+    case HandshakeStatus::accepted:
+    case HandshakeStatus::raw:
+      leftover_.insert(leftover_.end(), bytes.begin(), bytes.end());
+      return status_;
+    case HandshakeStatus::refused:
+      return status_;
+  }
+  return status_;
+}
+
+void BannerScanner::classify() {
+  if (mode_ == Mode::dialer) {
+    // The OK banner may be preceded (and followed) by whole relay frames;
+    // splice it out wherever it sits in the head of the stream.
+    const auto hit = std::search(buffer_.begin(), buffer_.end(),
+                                 kOkBanner.begin(), kOkBanner.end());
+    if (hit == buffer_.end()) {
+      if (buffer_.size() > kMaxBanner) {
+        status_ = HandshakeStatus::refused;
+        reason_ = "no GNUTELLA OK within " + std::to_string(kMaxBanner) +
+                  " bytes";
+        buffer_.clear();
+      }
+      return;
+    }
+    status_ = HandshakeStatus::accepted;
+    leftover_.assign(buffer_.begin(), hit);
+    leftover_.insert(leftover_.end(),
+                     hit + static_cast<std::ptrdiff_t>(kOkBanner.size()),
+                     buffer_.end());
+    buffer_.clear();
+    return;
+  }
+
+  // Listener: is this a banner at all?  Until kBannerMarker is fully
+  // matched the stream could still be either; the first divergent byte
+  // settles it.
+  const std::size_t marker_match = common_prefix(buffer_, kBannerMarker);
+  if (marker_match < kBannerMarker.size()) {
+    if (marker_match == buffer_.size()) return;  // still a marker prefix
+    status_ = HandshakeStatus::raw;
+    leftover_ = std::move(buffer_);
+    buffer_.clear();
+    return;
+  }
+  // A greeting is in flight; wait for its blank-line terminator, then it
+  // must match the 0.4 CONNECT banner exactly.
+  const auto end = std::search(buffer_.begin(), buffer_.end(),
+                               kTerminator.begin(), kTerminator.end());
+  if (end == buffer_.end()) {
+    if (buffer_.size() > kMaxBanner) {
+      status_ = HandshakeStatus::refused;
+      reason_ = "oversized handshake banner";
+      buffer_.clear();
+    }
+    return;
+  }
+  const std::size_t banner_len =
+      static_cast<std::size_t>(end - buffer_.begin()) + kTerminator.size();
+  if (banner_len == kConnectBanner.size() &&
+      common_prefix(buffer_, kConnectBanner) == kConnectBanner.size()) {
+    status_ = HandshakeStatus::accepted;
+    leftover_.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(banner_len),
+                     buffer_.end());
+    buffer_.clear();
+    return;
+  }
+  status_ = HandshakeStatus::refused;
+  reason_ = "unsupported handshake banner: " +
+            std::string(buffer_.begin(),
+                        buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                              banner_len - kTerminator.size()));
+  buffer_.clear();
+}
+
+std::optional<PeerAddress> parse_host_port(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  const std::string host = text.substr(0, colon);
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, host.c_str(), &parsed) != 1) return std::nullopt;
+  const std::string port_text = text.substr(colon + 1);
+  if (!std::all_of(port_text.begin(), port_text.end(), [](unsigned char c) {
+        return c >= '0' && c <= '9';
+      })) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+    return std::nullopt;
+  }
+  return PeerAddress{host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace aar::node

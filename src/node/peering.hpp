@@ -1,0 +1,113 @@
+#pragma once
+// Gnutella 0.4 peering handshake for aar_node (docs/NODE.md): the banner
+// exchange that turns a raw TCP connection into a first-class neighbor
+// link between two daemons.
+//
+//   dialer                         listener
+//     | -- "GNUTELLA CONNECT/0.4\n\n" -->|
+//     |<------- "GNUTELLA OK\n\n" ------ |
+//     | <========= 0.4 frames =========> |
+//
+// Both sides run the exchange as an incremental state machine
+// (BannerScanner) so the owning shard's epoll loop can drive it without
+// blocking: bytes arrive in arbitrary TCP chunks, the scanner accumulates
+// until it can classify the stream, and bytes that are not part of the
+// banner are handed to the FrameDecoder untouched.
+//
+// The two directions classify differently:
+//   * The listener expects the CONNECT banner as an exact stream prefix.
+//     A stream that diverges before the "GNUTELLA " marker is a *raw*
+//     frame client (the replay generator, tests, CI smokes) — the
+//     pre-peering wire behavior stays byte-identical.  A greeting that
+//     terminates but is not exactly the 0.4 banner is refused (wrong
+//     protocol version, unknown dialect), as is a greeting that never
+//     terminates within kMaxBanner bytes.
+//   * The dialer searches for the OK banner anywhere in the first
+//     kMaxBanner bytes.  The listener registers the link in its roster at
+//     accept time (raw clients must be floodable before they ever send a
+//     byte), so relay frames can legally be queued ahead of the OK reply;
+//     the scanner splices the banner out of the stream and hands the
+//     surrounding bytes — whole frames by construction — to the decoder.
+//     There is no raw fallback on this side: a stream with no OK banner
+//     refuses the link and feeds the reconnect schedule.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aar::node {
+
+/// The 0.4 greeting a dialing node sends, and the acceptance the listening
+/// node answers with.  Terminated by a blank line like the real protocol.
+inline constexpr std::string_view kConnectBanner = "GNUTELLA CONNECT/0.4\n\n";
+inline constexpr std::string_view kOkBanner = "GNUTELLA OK\n\n";
+
+/// Every greeting starts with this marker; a listener stream that diverges
+/// from it is not a handshake attempt at all (raw fallback territory).
+inline constexpr std::string_view kBannerMarker = "GNUTELLA ";
+
+/// A handshake that has not resolved within this many bytes is refused.
+inline constexpr std::size_t kMaxBanner = 512;
+
+enum class HandshakeStatus : std::uint8_t {
+  pending,   ///< need more bytes to classify
+  accepted,  ///< the banner arrived; leftover() holds the frame bytes
+  raw,       ///< not a banner — a plain frame client (listener side only)
+  refused,   ///< wrong version / dialect / oversized; drop the link
+};
+
+/// Incremental banner classifier.  Feed arbitrary chunks; the decision and
+/// the leftover bytes are invariant under the chunking (the same property
+/// FrameDecoder guarantees, pinned by tests/test_peering.cpp).
+class BannerScanner {
+ public:
+  enum class Mode : std::uint8_t {
+    listener,  ///< CONNECT banner as exact prefix; raw fallback
+    dialer,    ///< OK banner anywhere in the head; no raw fallback
+  };
+
+  explicit BannerScanner(Mode mode = Mode::listener) : mode_(mode) {}
+
+  /// Accumulate bytes and (re)classify.  Once a terminal status is
+  /// reached it is sticky; further feeds extend leftover() (accepted/raw)
+  /// or are discarded (refused).
+  HandshakeStatus feed(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] HandshakeStatus status() const noexcept { return status_; }
+
+  /// The non-banner bytes seen so far, in arrival order: everything
+  /// around the banner (accepted) or the whole stream (raw).  Empty while
+  /// pending or refused.
+  [[nodiscard]] std::span<const std::uint8_t> leftover() const noexcept {
+    return {leftover_.data(), leftover_.size()};
+  }
+
+  /// Human-readable refusal reason (empty unless refused).
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  void classify();
+
+  Mode mode_;
+  HandshakeStatus status_ = HandshakeStatus::pending;
+  std::vector<std::uint8_t> buffer_;    ///< unclassified head of the stream
+  std::vector<std::uint8_t> leftover_;  ///< frame bytes, once classified
+  std::string reason_;
+};
+
+/// A peer endpoint parsed from a `host:port` CLI / admin argument.
+struct PeerAddress {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Strict `host:port` parse: the host must be an IPv4 dotted quad and the
+/// port an integer in 1..65535 with no trailing garbage.  Returns nullopt
+/// on any malformation (the CLI turns that into exit status 2).
+[[nodiscard]] std::optional<PeerAddress> parse_host_port(
+    const std::string& text);
+
+}  // namespace aar::node

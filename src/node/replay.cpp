@@ -77,6 +77,10 @@ double percentile(std::vector<double>& sorted, double p) {
 ReplayStats run_replay(const ReplayConfig& config) {
   if (config.port == 0) throw std::invalid_argument("replay: port required");
   const std::size_t n_conns = std::max<std::size_t>(config.connections, 2);
+  // Split-target mode: hits enter through their own connection set on a
+  // different daemon; a matched hit then proves cross-process relay.
+  const bool split = config.hits_port != 0;
+  const std::size_t total_conns = split ? n_conns * 2 : n_conns;
 
   std::vector<trace::QueryReplyPair> pairs;
   if (!config.trace_path.empty()) {
@@ -89,13 +93,16 @@ ReplayStats run_replay(const ReplayConfig& config) {
 
   // Connection mapping: the query arrives from conn (source % N); the hit
   // arrives through the source's home conn, guaranteed distinct so the
-  // reply always has somewhere to be relayed back to.
+  // reply always has somewhere to be relayed back to.  In split mode the
+  // hit conns live on the far daemon (indices N..2N-1), so distinctness is
+  // structural.
   const auto query_conn = [n_conns](const trace::QueryReplyPair& pair) {
     return static_cast<std::size_t>(pair.source_host) % n_conns;
   };
   const auto hit_conn = [&](const trace::QueryReplyPair& pair) {
     const std::size_t base =
         static_cast<std::size_t>(pair.replying_neighbor) % n_conns;
+    if (split) return n_conns + base;
     const std::size_t origin = query_conn(pair);
     return base == origin ? (base + 1) % n_conns : base;
   };
@@ -117,9 +124,11 @@ ReplayStats run_replay(const ReplayConfig& config) {
     ++next_hit;
   }
 
-  std::vector<Peer> peers(n_conns);
-  for (std::size_t i = 0; i < n_conns; ++i) {
-    peers[i].fd = connect_tcp(config.host, config.port);
+  std::vector<Peer> peers(total_conns);
+  for (std::size_t i = 0; i < total_conns; ++i) {
+    peers[i].fd = i < n_conns
+                      ? connect_tcp(config.host, config.port)
+                      : connect_tcp(config.hits_host, config.hits_port);
   }
 
   ReplayStats stats;
@@ -128,15 +137,17 @@ ReplayStats run_replay(const ReplayConfig& config) {
   latencies.reserve(pairs.size());
   std::vector<std::uint8_t> read_buffer(64 * 1024);
 
-  // Lockstep watch: the frame whose relayed copy we are waiting on.
+  // Lockstep watch: the frame whose relayed copy we are waiting on.  In
+  // split mode only the far daemon's sighting counts (watch_far).
   std::uint64_t watch_guid = 0;
   MessageType watch_type = MessageType::kPing;
   bool watch_seen = false;
+  bool watch_far = false;
   // Which connections have seen a relayed ping (roster barrier, below).
-  std::vector<char> ping_seen(n_conns, 0);
+  std::vector<char> ping_seen(total_conns, 0);
 
   const auto sweep_reads = [&] {
-    for (std::size_t i = 0; i < n_conns; ++i) {
+    for (std::size_t i = 0; i < total_conns; ++i) {
       Peer& peer = peers[i];
       if (!peer.fd.valid()) continue;
       for (;;) {
@@ -150,14 +161,18 @@ ReplayStats run_replay(const ReplayConfig& config) {
         while (auto message = peer.decoder.next()) {
           ++stats.frames_received;
           const gnutella::Header& header = message->header;
-          // Every frame the daemon relays must carry the rewritten header:
-          // one TTL spent, one hop travelled (we always send hops = 0).
-          if (header.ttl != static_cast<std::uint8_t>(config.ttl - 1) ||
-              header.hops != 1) {
+          // Every relayed frame has spent one TTL per hop travelled — the
+          // sum is conserved however many daemons it crossed (we always
+          // send hops = 0), and at least one rewrite must have happened.
+          if (static_cast<unsigned>(header.ttl) + header.hops != config.ttl ||
+              header.hops < 1) {
             ++stats.ttl_violations;
           }
           if (gnutella::fold_guid(header.guid) == watch_guid &&
-              header.type == watch_type) {
+              header.type == watch_type &&
+              (!watch_far || (watch_type == MessageType::kQuery
+                                  ? i >= n_conns
+                                  : i < n_conns))) {
             watch_seen = true;
           }
           if (header.type == MessageType::kPing) ping_seen[i] = 1;
@@ -207,31 +222,44 @@ ReplayStats run_replay(const ReplayConfig& config) {
     }
   };
 
-  if (config.lockstep && n_conns > 1) {
+  if ((config.lockstep || split) && total_conns > 1) {
     // Roster barrier.  connect() returns when the kernel completes the
     // handshake, *before* the daemon's control thread accepts and registers
     // the peer — so an immediate first frame could flood to fewer targets
     // than the settled roster, breaking the thread-count stats invariance
     // this mode exists to pin.  The daemon registers peers in accept order
     // (FIFO on loopback), so once a ping sent on the LAST connection floods
-    // back to every other connection, the whole roster is registered.
-    send_all(n_conns - 1,
-             gnutella::serialize(gnutella::make_ping(
-                 gnutella::make_wire_guid(0),
-                 static_cast<std::uint8_t>(config.ttl))));
+    // back to every other connection, the whole roster is registered.  In
+    // split mode the ping must also cross the peered link to reach the
+    // near daemon's connections, which additionally barriers on the
+    // cluster's handshakes having completed — the ping is re-sent with a
+    // fresh GUID while waiting, since a copy flooded before the links came
+    // up is simply lost.
+    std::uint64_t barrier_guid = 0;
+    const auto send_barrier_ping = [&] {
+      send_all(total_conns - 1,
+               gnutella::serialize(gnutella::make_ping(
+                   gnutella::make_wire_guid(barrier_guid++),
+                   static_cast<std::uint8_t>(config.ttl))));
+    };
+    send_barrier_ping();
     const auto roster_ready = [&] {
-      for (std::size_t i = 0; i + 1 < n_conns; ++i) {
+      for (std::size_t i = 0; i + 1 < total_conns; ++i) {
         if (!ping_seen[i]) return false;
       }
       return true;
     };
     const Clock::time_point give_up =
         Clock::now() + std::chrono::milliseconds(config.lockstep_wait_ms);
+    Clock::time_point resend_at = Clock::now() + std::chrono::milliseconds(50);
     while (!roster_ready() && Clock::now() < give_up) {
       sweep_reads();
-      if (!roster_ready()) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      if (roster_ready()) break;
+      if (Clock::now() >= resend_at) {
+        send_barrier_ping();
+        resend_at = Clock::now() + std::chrono::milliseconds(50);
       }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
     if (!roster_ready()) ++stats.lockstep_timeouts;
   }
@@ -248,6 +276,7 @@ ReplayStats run_replay(const ReplayConfig& config) {
       watch_guid = gnutella::fold_guid(guid);
       watch_type = event.is_hit ? MessageType::kQueryHit : MessageType::kQuery;
       watch_seen = false;
+      watch_far = split;
     }
     if (!event.is_hit) {
       char search[32];
@@ -311,6 +340,7 @@ ReplayStats run_replay(const ReplayConfig& config) {
                 send_elapsed
           : 0.0;
   std::sort(latencies.begin(), latencies.end());
+  stats.latency_samples = latencies.size();
   stats.latency_p50_ms = percentile(latencies, 0.50);
   stats.latency_p99_ms = percentile(latencies, 0.99);
   stats.latency_max_ms = latencies.empty() ? 0.0 : latencies.back();
@@ -330,12 +360,23 @@ std::string to_text(const ReplayStats& stats) {
       << "replay.lockstep_timeouts " << stats.lockstep_timeouts << '\n';
   char buffer[256];
   std::snprintf(buffer, sizeof buffer,
-                "replay.elapsed_s %.3f\nreplay.throughput_fps %.1f\n"
-                "replay.latency_p50_ms %.3f\nreplay.latency_p99_ms %.3f\n"
-                "replay.latency_max_ms %.3f\n",
-                stats.elapsed_s, stats.throughput_fps, stats.latency_p50_ms,
-                stats.latency_p99_ms, stats.latency_max_ms);
+                "replay.elapsed_s %.3f\nreplay.throughput_fps %.1f\n",
+                stats.elapsed_s, stats.throughput_fps);
   out << buffer;
+  out << "replay.latency_samples " << stats.latency_samples << '\n';
+  if (stats.latency_samples == 0) {
+    // No matched hit ever arrived: percentiles of an empty sample set are
+    // undefined, and 0.0 would read as an impossibly fast network.
+    out << "replay.latency_p50_ms n/a\nreplay.latency_p99_ms n/a\n"
+           "replay.latency_max_ms n/a\n";
+  } else {
+    std::snprintf(buffer, sizeof buffer,
+                  "replay.latency_p50_ms %.3f\nreplay.latency_p99_ms %.3f\n"
+                  "replay.latency_max_ms %.3f\n",
+                  stats.latency_p50_ms, stats.latency_p99_ms,
+                  stats.latency_max_ms);
+    out << buffer;
+  }
   return out.str();
 }
 

@@ -39,6 +39,15 @@ struct ReplayConfig {
   /// `lockstep_wait_ms` timeout each and are counted in lockstep_timeouts.
   bool lockstep = false;
   std::uint32_t lockstep_wait_ms = 500;
+  /// Split-target cluster mode: when hits_port != 0 the generator opens a
+  /// second set of `connections` sockets against this daemon and issues
+  /// every QueryHit there, so queries and hits enter the overlay at
+  /// different processes and a matched hit proves relay across at least
+  /// one peered link.  In lockstep the per-frame watch waits for the
+  /// *far* side's relayed copy (a query must surface on the hit daemon,
+  /// a hit back on the query daemon), which quiesces both processes.
+  std::string hits_host = "127.0.0.1";
+  std::uint16_t hits_port = 0;
 };
 
 struct ReplayStats {
@@ -53,6 +62,10 @@ struct ReplayStats {
   std::uint64_t lockstep_timeouts = 0; ///< lockstep waits that hit the deadline
   double elapsed_s = 0.0;
   double throughput_fps = 0.0;         ///< frames sent per second
+  /// Matched-hit latency distribution.  With zero samples the percentile
+  /// lines render as `n/a` — a 0.0 would read as an impossibly fast
+  /// network instead of "nothing ever came back".
+  std::uint64_t latency_samples = 0;
   double latency_p50_ms = 0.0;         ///< query send -> matched hit arrival
   double latency_p99_ms = 0.0;
   double latency_max_ms = 0.0;

@@ -40,6 +40,10 @@ void bump(std::atomic<std::uint64_t>& counter, std::uint64_t n = 1) noexcept {
   counter.fetch_add(n, std::memory_order_relaxed);
 }
 
+std::span<const std::uint8_t> banner_bytes(std::string_view banner) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(banner.data()), banner.size()};
+}
+
 }  // namespace
 
 std::uint32_t RetryLadder::delay_ms(std::uint32_t attempt,
@@ -121,6 +125,22 @@ void Shard::deliver(RelayFrame frame) {
   wake();
 }
 
+void Shard::dial(PeerAddress address, NeighborId id) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(Dial{std::move(address), id});
+  }
+  wake();
+}
+
+void Shard::drop(NeighborId id) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(Drop{id});
+  }
+  wake();
+}
+
 void Shard::run() {
   std::array<epoll_event, 64> events{};
   while (!stop_.load(std::memory_order_acquire)) {
@@ -155,11 +175,17 @@ void Shard::run() {
       }
       if ((mask & EPOLLOUT) != 0) {
         if (const auto it = connections_.find(fd); it != connections_.end()) {
-          on_writable(*it->second);
+          if (it->second->phase == LinkPhase::connecting) {
+            on_connect_ready(*it->second);
+          } else {
+            on_writable(*it->second);
+          }
         }
       }
     }
-    escalate_stalls(Clock::now());
+    const auto after = Clock::now();
+    escalate_stalls(after);
+    run_peering(after);
   }
 }
 
@@ -177,6 +203,9 @@ void Shard::drain_inbox() {
       connection->id = adopt->id;
       connection->peer = std::move(adopt->peer);
       connection->jitter_rng.reseed(jitter_seed(config_.seed, adopt->id));
+      // Accepted links classify their first bytes: a CONNECT banner makes
+      // a peered neighbor, anything else is a raw frame client.
+      connection->phase = LinkPhase::sniffing;
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.fd = fd;
@@ -187,6 +216,32 @@ void Shard::drain_inbox() {
       peer_fd_[adopt->id] = fd;
       connections_[fd] = std::move(connection);
       bump(stats_.connections);
+      continue;
+    }
+    if (auto* dialed = std::get_if<Dial>(&item)) {
+      Dialer dialer;
+      dialer.id = dialed->id;
+      dialer.address = std::move(dialed->address);
+      dialer.rng.reseed(jitter_seed(config_.seed, dialed->id));
+      dialer.next_try = Clock::now();
+      dialers_.push_back(std::move(dialer));
+      try_dial(dialers_.back(), Clock::now());
+      continue;
+    }
+    if (auto* dropped = std::get_if<Drop>(&item)) {
+      int live_fd = -1;
+      const auto dialer_it =
+          std::find_if(dialers_.begin(), dialers_.end(),
+                       [&](const Dialer& d) { return d.id == dropped->id; });
+      if (dialer_it != dialers_.end()) {
+        live_fd = dialer_it->fd;
+        // Erase first so close_connection cannot re-arm the reconnect.
+        dialers_.erase(dialer_it);
+      } else if (const auto pf = peer_fd_.find(dropped->id);
+                 pf != peer_fd_.end()) {
+        live_fd = pf->second;
+      }
+      if (live_fd != -1) close_connection(live_fd);
       continue;
     }
     auto& frame = std::get<RelayFrame>(item);
@@ -217,15 +272,79 @@ void Shard::on_readable(Connection& connection) {
       return;
     }
     bump(stats_.bytes_in, r.n);
-    connection.decoder.feed({read_buffer_.data(), r.n});
-    while (auto message = connection.decoder.next()) {
-      handle_message(connection, *message);
-      bump(stats_.processed);
+    if (connection.phase == LinkPhase::streaming) {
+      feed_frames(connection, {read_buffer_.data(), r.n});
+    } else {
+      on_handshake_bytes(connection, {read_buffer_.data(), r.n});
     }
-    const std::uint64_t malformed = connection.decoder.malformed_frames();
-    bump(stats_.malformed_frames, malformed - connection.malformed_reported);
-    connection.malformed_reported = malformed;
+    // Either path can close the connection under us (handshake refusal, a
+    // frame whose handling flushed into a dead socket).
+    if (connections_.find(fd) == connections_.end()) return;
     if (r.n < read_buffer_.size()) break;  // drained the socket
+  }
+}
+
+void Shard::feed_frames(Connection& connection,
+                        std::span<const std::uint8_t> bytes) {
+  const int fd = connection.fd.get();
+  connection.decoder.feed(bytes);
+  while (auto message = connection.decoder.next()) {
+    handle_message(connection, *message);
+    bump(stats_.processed);
+    // Keepalive replies write back to the sender, so handling a message
+    // can close this very connection; stop touching it if so.
+    if (connections_.find(fd) == connections_.end()) return;
+  }
+  const std::uint64_t malformed = connection.decoder.malformed_frames();
+  bump(stats_.malformed_frames, malformed - connection.malformed_reported);
+  connection.malformed_reported = malformed;
+}
+
+void Shard::on_handshake_bytes(Connection& connection,
+                               std::span<const std::uint8_t> bytes) {
+  const int fd = connection.fd.get();
+  switch (connection.scanner.feed(bytes)) {
+    case HandshakeStatus::pending:
+      return;
+    case HandshakeStatus::raw:
+      // A plain frame client: the accumulated bytes are ordinary frames.
+      connection.phase = LinkPhase::streaming;
+      feed_frames(connection, connection.scanner.leftover());
+      return;
+    case HandshakeStatus::accepted: {
+      const bool inbound = connection.phase == LinkPhase::sniffing;
+      establish(connection, Clock::now());
+      if (inbound) {
+        enqueue(connection, banner_bytes(kOkBanner));
+        if (connections_.find(fd) == connections_.end()) return;
+      }
+      feed_frames(connection, connection.scanner.leftover());
+      return;
+    }
+    case HandshakeStatus::refused:
+      // Wrong dialect / version / oversized greeting: drop the link.  For
+      // outbound links close_connection also schedules the re-dial.
+      close_connection(fd);
+      return;
+  }
+}
+
+void Shard::establish(Connection& connection, Clock::time_point now) {
+  connection.phase = LinkPhase::streaming;
+  connection.peered = true;
+  bump(stats_.peer_handshakes);
+  if (connection.outbound_link) {
+    // Dialed links join the roster only now: a half-open link must not
+    // attract relay traffic.  (Accepted links are rostered at accept —
+    // raw clients must be floodable before their first byte.)
+    connection.peer =
+        shared_.peers.add(connection.id, static_cast<std::uint32_t>(index_));
+    peer_fd_[connection.id] = connection.fd.get();
+    if (Dialer* dialer = dialer_for(connection.id)) dialer->attempt = 0;
+  }
+  if (config_.ping_interval_ms > 0) {
+    connection.next_ping =
+        now + std::chrono::milliseconds(config_.ping_interval_ms);
   }
 }
 
@@ -369,7 +488,26 @@ void Shard::handle_message(Connection& connection, const Message& message) {
     }
     case MessageType::kPing: {
       bump(stats_.pings_in);
-      if (message.header.ttl <= 1) {
+      const bool expired = message.header.ttl <= 1;
+      if (connection.peered) {
+        // A peered neighbor gets a direct Pong carrying our served-file
+        // stats (docs/NODE.md "Peering") — keepalive pings travel with
+        // TTL 1, so the reply is the only thing they produce.  Raw frame
+        // clients keep the pre-peering behavior: flood, no Pong.
+        const gnutella::Pong pong{
+            .port = shared_.serving_port,
+            .ip = 0x7f000001,  // 127.0.0.1; loopback-only serving for now
+            .shared_files = static_cast<std::uint32_t>(
+                stats_.hits_in.load(std::memory_order_relaxed)),
+            .shared_kb = static_cast<std::uint32_t>(
+                stats_.pairs_mined.load(std::memory_order_relaxed)),
+        };
+        const int fd = connection.fd.get();
+        enqueue(connection, gnutella::serialize(gnutella::make_pong(
+                                message.header.guid, 1, pong)));
+        if (connections_.find(fd) == connections_.end()) return;
+      }
+      if (expired) {
         bump(stats_.dropped);
         return;
       }
@@ -383,6 +521,22 @@ void Shard::handle_message(Connection& connection, const Message& message) {
       return;
     }
     case MessageType::kPong:
+      if (connection.peered) {
+        // Keepalive answer: the link is alive, whatever ping it answers.
+        bump(stats_.peer_pongs);
+        if (connection.pings_outstanding > 0) {
+          connection.pings_outstanding = 0;
+          static obs::Timer& rtt =
+              obs::Registry::global().timer("node.peer.rtt");
+          rtt.record_ns(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - connection.last_ping_sent)
+                  .count()));
+        }
+        return;
+      }
+      bump(stats_.dropped);  // unrouted descriptors terminate here
+      return;
     case MessageType::kPush:
       bump(stats_.dropped);  // unrouted descriptors terminate here
       return;
@@ -531,15 +685,141 @@ void Shard::close_connection(int fd) {
   if (it == connections_.end()) return;
   Connection& connection = *it->second;
   (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
-  bump(stats_.disconnects);
   stats_.connections.fetch_sub(1, std::memory_order_relaxed);
   peer_fd_.erase(connection.id);
-  shared_.peers.remove(connection.id);
-  // A departed neighbor's pairs would keep routing queries at a dead
-  // socket; purge them from the published snapshot immediately (its window
-  // pairs on every shard are pruned at the next merge).
-  shared_.hub->purge(connection.id);
+  // Outbound links that never finished their handshake were never in the
+  // roster: nothing to purge and no disconnect to report (a refused dial
+  // is a reconnect, not a disconnect).
+  const bool rostered =
+      !connection.outbound_link || connection.phase == LinkPhase::streaming;
+  if (rostered) {
+    bump(stats_.disconnects);
+    shared_.peers.remove(connection.id);
+    // A departed neighbor's pairs would keep routing queries at a dead
+    // socket; purge them from the published snapshot immediately (its
+    // window pairs on every shard are pruned at the next merge).
+    shared_.hub->purge(connection.id);
+  }
+  if (connection.outbound_link) {
+    // Keep the link dialed: deterministic per-id jitter, doubling backoff.
+    if (Dialer* dialer = dialer_for(connection.id)) {
+      dialer->fd = -1;
+      dialer->next_try =
+          Clock::now() + std::chrono::milliseconds(ladder_.delay_ms(
+                             dialer->attempt, dialer->rng));
+      if (dialer->attempt < 16) ++dialer->attempt;
+    }
+  }
   connections_.erase(it);
+}
+
+Shard::Dialer* Shard::dialer_for(NeighborId id) {
+  for (Dialer& dialer : dialers_) {
+    if (dialer.id == id) return &dialer;
+  }
+  return nullptr;
+}
+
+void Shard::try_dial(Dialer& dialer, Clock::time_point now) {
+  bool in_progress = false;
+  Fd fd = connect_tcp_async(dialer.address.host, dialer.address.port,
+                            in_progress);
+  const auto reschedule = [&] {
+    dialer.next_try = now + std::chrono::milliseconds(
+                                ladder_.delay_ms(dialer.attempt, dialer.rng));
+    if (dialer.attempt < 16) ++dialer.attempt;
+  };
+  if (!fd.valid()) {
+    reschedule();
+    return;
+  }
+  if (config_.send_buffer > 0) set_send_buffer(fd.get(), config_.send_buffer);
+  const int raw = fd.get();
+  auto connection = std::make_unique<Connection>();
+  connection->fd = std::move(fd);
+  connection->id = dialer.id;
+  connection->jitter_rng.reseed(jitter_seed(config_.seed, dialer.id));
+  connection->outbound_link = true;
+  connection->phase =
+      in_progress ? LinkPhase::connecting : LinkPhase::greeting;
+  connection->scanner = BannerScanner(BannerScanner::Mode::dialer);
+  epoll_event ev{};
+  ev.events = EPOLLIN | (in_progress ? EPOLLOUT : 0u);
+  ev.data.fd = raw;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev) < 0) {
+    reschedule();
+    return;
+  }
+  connection->want_out = in_progress;
+  dialer.fd = raw;
+  connections_[raw] = std::move(connection);
+  bump(stats_.connections);
+  if (!in_progress) {
+    Connection& live = *connections_[raw];
+    enqueue(live, banner_bytes(kConnectBanner));
+  }
+}
+
+void Shard::on_connect_ready(Connection& connection) {
+  const int fd = connection.fd.get();
+  if (socket_error(fd) != 0) {
+    close_connection(fd);  // dial failed; the reconnect schedule takes over
+    return;
+  }
+  connection.phase = LinkPhase::greeting;
+  enqueue(connection, banner_bytes(kConnectBanner));
+}
+
+void Shard::send_keepalive_ping(Connection& connection,
+                                Clock::time_point now) {
+  ++connection.ping_counter;
+  // A GUID sequence private to this link: keepalive pings never collide
+  // with relay traffic or another link's probes.
+  const gnutella::WireGuid guid = gnutella::make_wire_guid(
+      jitter_seed(config_.seed ^ 0x70656572ULL, connection.id) +
+      connection.ping_counter);
+  ++connection.pings_outstanding;
+  connection.last_ping_sent = now;
+  connection.next_ping =
+      now + std::chrono::milliseconds(config_.ping_interval_ms);
+  // TTL 1: a keepalive probes the link, not the overlay — the peer answers
+  // with a Pong and relays nothing.
+  enqueue(connection, gnutella::serialize(gnutella::make_ping(guid, 1)));
+}
+
+void Shard::run_peering(Clock::time_point now) {
+  for (Dialer& dialer : dialers_) {
+    if (dialer.fd != -1 || now < dialer.next_try) continue;
+    if (dialer.attempt > 0) bump(stats_.peer_reconnects);
+    try_dial(dialer, now);
+  }
+  if (config_.ping_interval_ms == 0) return;
+  std::vector<int> peered;
+  for (const auto& [fd, connection] : connections_) {
+    if (connection->phase == LinkPhase::streaming && connection->peered) {
+      peered.push_back(fd);
+    }
+  }
+  for (const int fd : peered) {
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& connection = *it->second;
+    if (connection.next_ping.time_since_epoch().count() == 0 ||
+        now < connection.next_ping) {
+      continue;
+    }
+    if (connection.pings_outstanding > 0) {
+      bump(stats_.peer_missed);
+      if (connection.pings_outstanding >= config_.pong_budget) {
+        // The missed-pong budget is spent: declare the link dead.
+        // close_connection purges its rules from the published snapshot
+        // and, for outbound links, schedules the re-dial.
+        close_connection(fd);
+        continue;
+      }
+    }
+    send_keepalive_ping(connection, now);
+  }
 }
 
 void Shard::want_writable(Connection& connection, bool enable) {
@@ -555,12 +835,20 @@ void Shard::want_writable(Connection& connection, bool enable) {
 
 int Shard::poll_timeout_ms(Clock::time_point now) const {
   std::uint32_t timeout = 200;  // stop latency bound when idle
-  for (const auto& [fd, connection] : connections_) {
-    if (!connection->stalled) continue;
+  const auto consider = [&](Clock::time_point deadline) {
     const std::uint32_t wait =
-        connection->retry_at <= now ? 0
-                                    : elapsed_ms(connection->retry_at - now);
+        deadline <= now ? 0 : elapsed_ms(deadline - now);
     timeout = std::min(timeout, wait);
+  };
+  for (const auto& [fd, connection] : connections_) {
+    if (connection->stalled) consider(connection->retry_at);
+    if (connection->peered &&
+        connection->next_ping.time_since_epoch().count() != 0) {
+      consider(connection->next_ping);
+    }
+  }
+  for (const Dialer& dialer : dialers_) {
+    if (dialer.fd == -1) consider(dialer.next_try);
   }
   return static_cast<int>(timeout);
 }

@@ -27,6 +27,7 @@
 #include "core/forwarder.hpp"
 #include "gnutella/codec.hpp"
 #include "node/net.hpp"
+#include "node/peering.hpp"
 #include "node/snapshot.hpp"
 #include "util/rng.hpp"
 
@@ -79,6 +80,13 @@ struct ShardStats {
   std::atomic<std::uint64_t> send_retries{0};
   std::atomic<std::uint64_t> send_timeouts{0};
   std::atomic<std::uint64_t> degraded_floods{0};
+  /// Peering (node.peer.* family): completed handshakes in either
+  /// direction, keepalive pongs received, keepalive pings that went
+  /// unanswered past their interval, and outbound re-dial attempts.
+  std::atomic<std::uint64_t> peer_handshakes{0};
+  std::atomic<std::uint64_t> peer_pongs{0};
+  std::atomic<std::uint64_t> peer_missed{0};
+  std::atomic<std::uint64_t> peer_reconnects{0};
   /// Shard-only (node.shard.<i>.* family): frames delivered to this shard's
   /// peers from other shards' decisions, and hand-offs whose target peer
   /// was gone by delivery time.
@@ -109,12 +117,30 @@ class Shard {
   void adopt(Fd peer, NeighborId id, std::shared_ptr<Peer> entry);
   /// Hand off a relay frame for peers this shard owns (other shards).
   void deliver(RelayFrame frame);
+  /// Dial an outbound peer (control thread: --peer flags, admin connect).
+  /// The shard owns the connect / handshake / reconnect lifecycle; the
+  /// link joins the roster only once the handshake completes.
+  void dial(PeerAddress address, NeighborId id);
+  /// Close the link with this id and cancel its reconnect schedule
+  /// (admin disconnect).
+  void drop(NeighborId id);
 
   [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t index() const noexcept { return index_; }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// Where a link is in its lifecycle.  Accepted connections start
+  /// sniffing (banner or raw client); dialed connections walk
+  /// connecting -> greeting -> streaming; only streaming links decode
+  /// frames, and only streaming links are in the roster.
+  enum class LinkPhase : std::uint8_t {
+    connecting,  ///< outbound: non-blocking connect() still completing
+    greeting,    ///< outbound: CONNECT banner sent, awaiting OK
+    sniffing,    ///< inbound: classifying banner vs raw frames
+    streaming,   ///< frames flow; `peered` says whether a handshake ran
+  };
 
   struct Connection {
     Fd fd;
@@ -131,9 +157,31 @@ class Shard {
     std::uint64_t malformed_reported = 0;
     util::Rng jitter_rng{0};  ///< reseeded from jitter_seed(seed, id)
 
+    /// Peering state (docs/NODE.md "Peering").
+    LinkPhase phase = LinkPhase::streaming;
+    bool outbound_link = false;  ///< created by dial(); reconnects on death
+    bool peered = false;         ///< handshake completed on this link
+    BannerScanner scanner;
+    Clock::time_point next_ping{};      ///< keepalive schedule
+    Clock::time_point last_ping_sent{};
+    std::uint32_t pings_outstanding = 0;
+    std::uint64_t ping_counter = 0;  ///< per-link keepalive GUID sequence
+
     [[nodiscard]] std::size_t queued() const noexcept {
       return outbound.size() - out_off;
     }
+  };
+
+  /// One outbound peer this shard keeps dialed: the reconnect schedule
+  /// survives the connection (deterministic per-id jitter, doubling
+  /// backoff capped by RetryLadder::delay_ms's 60 s ceiling).
+  struct Dialer {
+    NeighborId id = 0;
+    PeerAddress address;
+    std::uint32_t attempt = 0;  ///< consecutive failures since last success
+    Clock::time_point next_try{};
+    int fd = -1;  ///< live connection / in-flight dial, -1 when down
+    util::Rng rng{0};
   };
 
   struct Adopt {
@@ -141,7 +189,14 @@ class Shard {
     NeighborId id = 0;
     std::shared_ptr<Peer> peer;
   };
-  using Inbound = std::variant<Adopt, RelayFrame>;
+  struct Dial {
+    PeerAddress address;
+    NeighborId id = 0;
+  };
+  struct Drop {
+    NeighborId id = 0;
+  };
+  using Inbound = std::variant<Adopt, RelayFrame, Dial, Drop>;
 
   void run();
   void wake();
@@ -159,6 +214,19 @@ class Shard {
   void set_stalled(Connection& connection, bool stalled);
   void escalate_stalls(Clock::time_point now);
   void close_connection(int fd);
+  /// Peering lifecycle: start (or retry) a dial, finish an async connect,
+  /// promote a link to streaming once its handshake lands, and run the
+  /// keepalive / reconnect timers.
+  void try_dial(Dialer& dialer, Clock::time_point now);
+  void on_connect_ready(Connection& connection);
+  void on_handshake_bytes(Connection& connection,
+                          std::span<const std::uint8_t> bytes);
+  void establish(Connection& connection, Clock::time_point now);
+  void feed_frames(Connection& connection,
+                   std::span<const std::uint8_t> bytes);
+  void send_keepalive_ping(Connection& connection, Clock::time_point now);
+  void run_peering(Clock::time_point now);
+  [[nodiscard]] Dialer* dialer_for(NeighborId id);
   void want_writable(Connection& connection, bool enable);
   [[nodiscard]] int poll_timeout_ms(Clock::time_point now) const;
   [[nodiscard]] Connection* local_peer(NeighborId id);
@@ -185,6 +253,7 @@ class Shard {
 
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;  // by fd
   std::unordered_map<NeighborId, int> peer_fd_;
+  std::vector<Dialer> dialers_;  ///< outbound peers (reconnect state)
 
   std::uint64_t roster_version_ = 0;
   std::shared_ptr<const PeerList> roster_;

@@ -221,6 +221,8 @@ struct SharedState {
   std::atomic<std::uint64_t> clock{0};
   /// Wired by the Daemon after construction (cross-shard relay hand-off).
   std::vector<Shard*> shards;
+  /// The daemon's bound serving port, advertised in keepalive Pongs.
+  std::uint16_t serving_port = 0;
 };
 
 }  // namespace aar::node

@@ -561,5 +561,65 @@ TEST(NodeCli, AdminFailsCleanlyWhenDaemonUnreachable) {
   EXPECT_EQ(run_cli("admin --port 1 --command health"), 1);
 }
 
+TEST(NodeCli, ServePeerMustBeStrictHostPort) {
+  // parse_host_port accepts only a dotted-quad IPv4 plus a port in
+  // 1..65535; anything looser is a usage error before any socket opens.
+  EXPECT_EQ(run_cli("serve --peer localhost:9"), 2);
+  EXPECT_EQ(run_cli("serve --peer 127.0.0.1"), 2);
+  EXPECT_EQ(run_cli("serve --peer 127.0.0.1:0"), 2);
+  EXPECT_EQ(run_cli("serve --peer 127.0.0.1:99999"), 2);
+  EXPECT_EQ(run_cli("serve --peer :9"), 2);
+  EXPECT_EQ(run_cli("serve --peer 127.0.0.1:9x"), 2);
+  // Repeatable flag: one bad address poisons the whole invocation even
+  // when another --peer is well-formed.
+  EXPECT_EQ(run_cli("serve --peer 127.0.0.1:9 --peer nohost"), 2);
+}
+
+TEST(NodeCli, ServeKeepaliveFlagsMustBeIntegersInRange) {
+  EXPECT_EQ(run_cli("serve --ping-interval -1"), 2);
+  EXPECT_EQ(run_cli("serve --ping-interval 3600001"), 2);
+  EXPECT_EQ(run_cli("serve --ping-interval 2s"), 2);
+  EXPECT_EQ(run_cli("serve --pong-budget 0"), 2);
+  EXPECT_EQ(run_cli("serve --pong-budget 101"), 2);
+  EXPECT_EQ(run_cli("serve --pong-budget three"), 2);
+}
+
+TEST(NodeCli, ReplayExpectHitsMustBeAPositiveInteger) {
+  EXPECT_EQ(run_cli("replay --port 1 --expect-hits 0"), 2);
+  EXPECT_EQ(run_cli("replay --port 1 --expect-hits -5"), 2);
+  EXPECT_EQ(run_cli("replay --port 1 --expect-hits many"), 2);
+}
+
+// --- replay stats rendering ----------------------------------------------
+
+TEST(NodeReplay, LatencyLinesRenderNotAvailableWithoutSamples) {
+  // A run that matched nothing must not print 0.0ms percentiles — that
+  // would read as an impossibly fast network instead of "no hit ever came
+  // back" (the --expect-hits failure mode in cluster smoke tests).
+  ReplayStats stats;
+  const std::string text = to_text(stats);
+  EXPECT_NE(text.find("replay.latency_samples 0\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("replay.latency_p50_ms n/a\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("replay.latency_p99_ms n/a\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("replay.latency_max_ms n/a\n"), std::string::npos)
+      << text;
+
+  stats.latency_samples = 3;
+  stats.latency_p50_ms = 1.25;
+  stats.latency_p99_ms = 2.5;
+  stats.latency_max_ms = 4.0;
+  const std::string with_samples = to_text(stats);
+  EXPECT_EQ(with_samples.find(" n/a"), std::string::npos) << with_samples;
+  EXPECT_NE(with_samples.find("replay.latency_samples 3\n"),
+            std::string::npos)
+      << with_samples;
+  EXPECT_NE(with_samples.find("replay.latency_p50_ms 1.25"),
+            std::string::npos)
+      << with_samples;
+}
+
 }  // namespace
 }  // namespace aar::node

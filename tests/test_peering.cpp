@@ -1,0 +1,289 @@
+// Unit and property tests for the Gnutella 0.4 peering handshake
+// (src/node/peering.hpp): BannerScanner classification on both sides of
+// the exchange — happy paths, banners split across arbitrary chunk
+// boundaries, raw-client fallback, oversized / garbage / wrong-version
+// refusal — plus a seeded 500-trial slicing-invariance property mirroring
+// the FrameDecoder suite: the classification and the leftover byte stream
+// must be identical no matter how the bytes are chopped.  Also pins
+// parse_host_port, the strict `--peer` / admin-connect endpoint parser.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "node/peering.hpp"
+#include "util/rng.hpp"
+
+namespace aar::node {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+/// Feed `stream` cut at `splits` (ascending offsets) and return the scanner.
+BannerScanner scan_sliced(BannerScanner::Mode mode,
+                          std::span<const std::uint8_t> stream,
+                          const std::vector<std::size_t>& splits) {
+  BannerScanner scanner(mode);
+  std::size_t start = 0;
+  for (const std::size_t split : splits) {
+    (void)scanner.feed(stream.subspan(start, split - start));
+    start = split;
+  }
+  (void)scanner.feed(stream.subspan(start));
+  return scanner;
+}
+
+std::vector<std::uint8_t> leftover_of(const BannerScanner& scanner) {
+  return {scanner.leftover().begin(), scanner.leftover().end()};
+}
+
+// --- listener happy path / fallback / refusal -----------------------------
+
+TEST(Peering, ListenerAcceptsExactConnectBanner) {
+  BannerScanner scanner;
+  const auto banner = bytes_of(kConnectBanner);
+  EXPECT_EQ(scanner.feed(banner), HandshakeStatus::accepted);
+  EXPECT_TRUE(scanner.leftover().empty());
+}
+
+TEST(Peering, ListenerAcceptsBannerWithTrailingFrameBytes) {
+  BannerScanner scanner;
+  auto stream = bytes_of(kConnectBanner);
+  const std::vector<std::uint8_t> frame = {0xde, 0xad, 0xbe, 0xef};
+  stream.insert(stream.end(), frame.begin(), frame.end());
+  EXPECT_EQ(scanner.feed(stream), HandshakeStatus::accepted);
+  EXPECT_EQ(leftover_of(scanner), frame);
+}
+
+TEST(Peering, ListenerStaysPendingOnBannerPrefix) {
+  BannerScanner scanner;
+  const auto banner = bytes_of(kConnectBanner);
+  for (std::size_t cut = 1; cut < banner.size(); ++cut) {
+    BannerScanner fresh;
+    EXPECT_EQ(fresh.feed({banner.data(), cut}), HandshakeStatus::pending)
+        << "prefix length " << cut;
+  }
+  (void)scanner;
+}
+
+TEST(Peering, ListenerFallsBackToRawOnFrameBytes) {
+  // A 0.4 frame header starts with a binary GUID — it diverges from
+  // "GNUTELLA " at byte 0 and the whole stream must come back untouched.
+  BannerScanner scanner;
+  const std::vector<std::uint8_t> frame = {0x00, 0x11, 0x22, 'G', 'N'};
+  EXPECT_EQ(scanner.feed(frame), HandshakeStatus::raw);
+  EXPECT_EQ(leftover_of(scanner), frame);
+}
+
+TEST(Peering, ListenerFallsBackToRawOnDivergenceInsideMarker) {
+  // "GNUTELLX..." shares 8 bytes with the marker before diverging; raw
+  // fallback must still hand back every byte seen.
+  BannerScanner scanner;
+  const auto stream = bytes_of("GNUTELLX rest of a frame");
+  EXPECT_EQ(scanner.feed(stream), HandshakeStatus::raw);
+  EXPECT_EQ(leftover_of(scanner), stream);
+}
+
+TEST(Peering, ListenerRefusesWrongProtocolVersion) {
+  BannerScanner scanner;
+  EXPECT_EQ(scanner.feed(bytes_of("GNUTELLA CONNECT/0.6\n\n")),
+            HandshakeStatus::refused);
+  EXPECT_NE(scanner.reason().find("GNUTELLA CONNECT/0.6"), std::string::npos);
+  EXPECT_TRUE(scanner.leftover().empty());
+}
+
+TEST(Peering, ListenerRefusesUnknownDialect) {
+  BannerScanner scanner;
+  EXPECT_EQ(scanner.feed(bytes_of("GNUTELLA PCONNECT/0.4\n\n")),
+            HandshakeStatus::refused);
+}
+
+TEST(Peering, ListenerRefusesOversizedUnterminatedGreeting) {
+  BannerScanner scanner;
+  std::string greeting = "GNUTELLA ";
+  greeting.append(2 * kMaxBanner, 'x');  // never terminated
+  EXPECT_EQ(scanner.feed(bytes_of(greeting)), HandshakeStatus::refused);
+  EXPECT_EQ(scanner.reason(), "oversized handshake banner");
+}
+
+TEST(Peering, RefusedScannerDiscardsFurtherBytes) {
+  BannerScanner scanner;
+  (void)scanner.feed(bytes_of("GNUTELLA CONNECT/0.6\n\n"));
+  EXPECT_EQ(scanner.feed(bytes_of("more")), HandshakeStatus::refused);
+  EXPECT_TRUE(scanner.leftover().empty());
+}
+
+TEST(Peering, AcceptedScannerExtendsLeftoverOnLaterFeeds) {
+  BannerScanner scanner;
+  (void)scanner.feed(bytes_of(kConnectBanner));
+  const std::vector<std::uint8_t> frame = {1, 2, 3};
+  EXPECT_EQ(scanner.feed(frame), HandshakeStatus::accepted);
+  EXPECT_EQ(leftover_of(scanner), frame);
+}
+
+// --- dialer side ----------------------------------------------------------
+
+TEST(Peering, DialerAcceptsOkBannerAsPrefix) {
+  BannerScanner scanner(BannerScanner::Mode::dialer);
+  EXPECT_EQ(scanner.feed(bytes_of(kOkBanner)), HandshakeStatus::accepted);
+  EXPECT_TRUE(scanner.leftover().empty());
+}
+
+TEST(Peering, DialerSplicesOkBannerOutOfMidStream) {
+  // Accepted links are rostered before the handshake completes, so relay
+  // frames can legally precede the OK banner; the scanner must splice the
+  // banner out and keep the surrounding bytes in order.
+  BannerScanner scanner(BannerScanner::Mode::dialer);
+  const std::vector<std::uint8_t> before = {9, 8, 7};
+  const std::vector<std::uint8_t> after = {6, 5};
+  std::vector<std::uint8_t> stream = before;
+  const auto ok = bytes_of(kOkBanner);
+  stream.insert(stream.end(), ok.begin(), ok.end());
+  stream.insert(stream.end(), after.begin(), after.end());
+  EXPECT_EQ(scanner.feed(stream), HandshakeStatus::accepted);
+  std::vector<std::uint8_t> expected = before;
+  expected.insert(expected.end(), after.begin(), after.end());
+  EXPECT_EQ(leftover_of(scanner), expected);
+}
+
+TEST(Peering, DialerRefusesWhenNoOkBannerWithinLimit) {
+  BannerScanner scanner(BannerScanner::Mode::dialer);
+  const std::vector<std::uint8_t> garbage(kMaxBanner + 1, 0x55);
+  EXPECT_EQ(scanner.feed(garbage), HandshakeStatus::refused);
+  EXPECT_NE(scanner.reason().find("GNUTELLA OK"), std::string::npos);
+}
+
+TEST(Peering, DialerHasNoRawFallback) {
+  // A non-banner head keeps the dialer pending (never raw) until the byte
+  // budget refuses it — raw fallback is a listener-only affordance.
+  BannerScanner scanner(BannerScanner::Mode::dialer);
+  EXPECT_EQ(scanner.feed(bytes_of("HTTP/1.1 404 Not Found\r\n")),
+            HandshakeStatus::pending);
+}
+
+// --- slicing invariance (mirrors CodecProperties) -------------------------
+
+/// Build a random stream around a scripted outcome and return the chunk
+/// boundaries to cut it at.  Outcomes cover accept (with pre/post frame
+/// bytes in dialer mode, post-only for the listener), raw fallback, and
+/// both refusal shapes.
+std::vector<std::uint8_t> random_stream(util::Rng& rng,
+                                        BannerScanner::Mode mode) {
+  std::vector<std::uint8_t> stream;
+  const auto append_noise = [&](std::size_t max_len) {
+    const std::size_t len = rng.below(max_len + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+      std::uint8_t byte = static_cast<std::uint8_t>(rng.below(256));
+      // Keep scripted noise from accidentally containing a banner (or a
+      // marker prefix that would change the listener outcome): 'G' is the
+      // only byte that can start either.
+      if (byte == 'G') byte = 'g';
+      stream.push_back(byte);
+    }
+  };
+  switch (rng.below(4)) {
+    case 0:  // accepted
+      if (mode == BannerScanner::Mode::dialer) append_noise(24);
+      {
+        const auto banner = bytes_of(mode == BannerScanner::Mode::dialer
+                                         ? kOkBanner
+                                         : kConnectBanner);
+        stream.insert(stream.end(), banner.begin(), banner.end());
+      }
+      append_noise(24);
+      break;
+    case 1:  // raw fallback (listener) / pending-then-refused (dialer)
+      append_noise(kMaxBanner + 32);
+      stream.push_back('x');  // never empty, never a marker prefix
+      break;
+    case 2: {  // refused: terminated but wrong banner
+      const auto wrong = bytes_of("GNUTELLA CONNECT/0.6\n\n");
+      if (mode == BannerScanner::Mode::listener) {
+        stream.insert(stream.end(), wrong.begin(), wrong.end());
+        append_noise(16);
+      } else {
+        append_noise(kMaxBanner + 32);
+        stream.push_back('x');
+      }
+      break;
+    }
+    default: {  // refused: oversized unterminated greeting
+      if (mode == BannerScanner::Mode::listener) {
+        const auto marker = bytes_of(kBannerMarker);
+        stream.insert(stream.end(), marker.begin(), marker.end());
+      }
+      for (std::size_t i = 0; i < kMaxBanner + 16; ++i) {
+        stream.push_back('y');
+      }
+      break;
+    }
+  }
+  return stream;
+}
+
+TEST(PeeringProperties, ClassificationIsSlicingInvariant) {
+  // 500 seeded trials across both modes: whatever the chunking — including
+  // byte-at-a-time — status, leftover bytes, and refusal reason must match
+  // the single-feed classification (the same invariance FrameDecoder
+  // guarantees one layer down).
+  util::Rng rng(0xba22e7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const BannerScanner::Mode mode = (trial & 1) == 0
+                                         ? BannerScanner::Mode::listener
+                                         : BannerScanner::Mode::dialer;
+    const std::vector<std::uint8_t> stream = random_stream(rng, mode);
+    const BannerScanner whole = scan_sliced(mode, stream, {});
+
+    std::vector<std::size_t> splits;
+    for (std::size_t offset = 0; offset < stream.size();) {
+      offset += 1 + rng.below(17);
+      if (offset < stream.size()) splits.push_back(offset);
+    }
+    const BannerScanner sliced = scan_sliced(mode, stream, splits);
+    ASSERT_EQ(sliced.status(), whole.status()) << "trial " << trial;
+    EXPECT_EQ(leftover_of(sliced), leftover_of(whole)) << "trial " << trial;
+    EXPECT_EQ(sliced.reason(), whole.reason()) << "trial " << trial;
+
+    std::vector<std::size_t> every_byte;
+    for (std::size_t offset = 1; offset < stream.size(); ++offset) {
+      every_byte.push_back(offset);
+    }
+    const BannerScanner trickled = scan_sliced(mode, stream, every_byte);
+    ASSERT_EQ(trickled.status(), whole.status()) << "trial " << trial;
+    EXPECT_EQ(leftover_of(trickled), leftover_of(whole))
+        << "trial " << trial;
+  }
+}
+
+// --- parse_host_port ------------------------------------------------------
+
+TEST(Peering, ParseHostPortAcceptsDottedQuad) {
+  const auto address = parse_host_port("127.0.0.1:6346");
+  ASSERT_TRUE(address.has_value());
+  EXPECT_EQ(address->host, "127.0.0.1");
+  EXPECT_EQ(address->port, 6346);
+}
+
+TEST(Peering, ParseHostPortRejectsMalformedInputs) {
+  for (const char* bad :
+       {"", ":", "127.0.0.1", "127.0.0.1:", ":6346", "localhost:6346",
+        "127.0.0.1:0", "127.0.0.1:65536", "127.0.0.1:-1", "127.0.0.1:+80",
+        "127.0.0.1: 80", "127.0.0.1:80x", "256.0.0.1:80", "127.0.0:80",
+        "127.0.0.1:99999999999999999999"}) {
+    EXPECT_FALSE(parse_host_port(bad).has_value()) << "input '" << bad << "'";
+  }
+}
+
+TEST(Peering, ParseHostPortAcceptsFullRange) {
+  EXPECT_EQ(parse_host_port("10.0.0.1:1")->port, 1);
+  EXPECT_EQ(parse_host_port("10.0.0.1:65535")->port, 65535);
+}
+
+}  // namespace
+}  // namespace aar::node

@@ -11,9 +11,12 @@
 //                  [--min-support T] [--rebuild-every N] [--top-k K]
 //                  [--retries R] [--backoff-ms B] [--jitter-ms J]
 //                  [--send-timeout-ms T] [--send-buffer B] [--seed S]
+//                  [--peer HOST:PORT]... [--ping-interval MS]
+//                  [--pong-budget N]
 //   aar_node replay --port P [--host H] [--trace F.aartr] [--pairs N]
 //                  [--rate N] [--connections C] [--ttl T] [--hit-lag N]
 //                  [--hosts N] [--drain-ms N] [--seed S]
+//                  [--hits-host H] [--hits-port P] [--expect-hits N]
 //   aar_node admin --port P [--host H] [--command CMD]
 //
 // `serve` prints its bound ports ("listening P" / "admin P") and serves
@@ -34,12 +37,14 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "node/daemon.hpp"
 #include "node/net.hpp"
+#include "node/peering.hpp"
 #include "node/replay.hpp"
 
 namespace {
@@ -48,21 +53,30 @@ using namespace aar;
 
 struct Options {
   std::string command;
-  std::map<std::string, std::string> flags;
+  /// Values in flag order; most flags use the last occurrence, repeatable
+  /// ones (--peer) use all of them.
+  std::map<std::string, std::vector<std::string>> flags;
   std::string parse_error;
 
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
+    return it == flags.end() ? fallback : it->second.back();
   }
   [[nodiscard]] long num(const std::string& key, long fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback
-                             : std::strtol(it->second.c_str(), nullptr, 10);
+    return it == flags.end()
+               ? fallback
+               : std::strtol(it->second.back().c_str(), nullptr, 10);
   }
   [[nodiscard]] bool has(const std::string& key) const {
     return flags.contains(key);
+  }
+  [[nodiscard]] const std::vector<std::string>& all(
+      const std::string& key) const {
+    static const std::vector<std::string> empty;
+    const auto it = flags.find(key);
+    return it == flags.end() ? empty : it->second;
   }
 };
 
@@ -74,18 +88,28 @@ int usage() {
          "                 [--rebuild-every N] [--top-k K] [--retries R]\n"
          "                 [--backoff-ms B] [--jitter-ms J]\n"
          "                 [--send-timeout-ms T] [--send-buffer B] [--seed S]\n"
+         "                 [--peer HOST:PORT]... [--ping-interval MS]\n"
+         "                 [--pong-budget N]\n"
          "  aar_node replay --port P [--host H] [--trace F.aartr]\n"
          "                 [--pairs N] [--rate N] [--connections C]\n"
          "                 [--ttl T] [--hit-lag N] [--hosts N]\n"
-         "                 [--drain-ms N] [--lockstep 0|1] [--seed S]\n"
+         "                 [--drain-ms N] [--lockstep 0|1]\n"
+         "                 [--lockstep-wait-ms N] [--seed S]\n"
+         "                 [--hits-host H] [--hits-port P] [--expect-hits N]\n"
          "  aar_node admin --port P [--host H] [--command CMD]\n"
          "serve binds 127.0.0.1 unless --bind opts into another address\n"
          "(the admin port always stays loopback; port 0 = ephemeral,\n"
          "printed at startup); --threads shards the serving path across\n"
-         "N cores (1..64).  replay needs a running daemon; --lockstep 1\n"
+         "N cores (1..64).  --peer (repeatable) dials another daemon and\n"
+         "runs the Gnutella 0.4 handshake; peered links exchange keepalive\n"
+         "pings every --ping-interval ms and die after --pong-budget\n"
+         "unanswered pings.  replay needs a running daemon; --lockstep 1\n"
          "waits for each frame's relayed copy before sending the next,\n"
-         "making daemon stats invariant under --threads.  admin commands\n"
-         "are health | stats | metrics | rules | shutdown.\n";
+         "making daemon stats invariant under --threads; --hits-port sends\n"
+         "hits to a second daemon (cluster mode) and --expect-hits N fails\n"
+         "the run (exit 1) unless at least N hits matched.  admin commands\n"
+         "are health | stats | metrics | rules | connect host:port |\n"
+         "disconnect id | shutdown.\n";
   return 2;
 }
 
@@ -94,10 +118,12 @@ const std::map<std::string, std::vector<std::string>, std::less<>>
         {"serve",
          {"port", "admin-port", "threads", "bind", "window", "min-support",
           "rebuild-every", "top-k", "retries", "backoff-ms", "jitter-ms",
-          "send-timeout-ms", "send-buffer", "seed"}},
+          "send-timeout-ms", "send-buffer", "seed", "peer", "ping-interval",
+          "pong-budget"}},
         {"replay",
          {"port", "host", "trace", "pairs", "rate", "connections", "ttl",
-          "hit-lag", "hosts", "drain-ms", "lockstep", "seed"}},
+          "hit-lag", "hosts", "drain-ms", "lockstep", "lockstep-wait-ms",
+          "seed", "hits-host", "hits-port", "expect-hits"}},
         {"admin", {"port", "host", "command"}},
 };
 
@@ -114,7 +140,7 @@ Options parse(int argc, char** argv) {
       options.parse_error = "flag '" + key + "' needs a value";
       return options;
     }
-    options.flags[key.substr(2)] = argv[i + 1];
+    options.flags[key.substr(2)].push_back(argv[i + 1]);
     i += 2;
   }
   return options;
@@ -145,7 +171,7 @@ int cmd_serve(const Options& options) {
   if (options.has("threads")) {
     // Strict: a shard count that silently parsed to 0 (or to garbage) would
     // change serving semantics, so reject anything but a plain 1..64.
-    const std::string& raw = options.flags.at("threads");
+    const std::string& raw = options.flags.at("threads").back();
     char* end = nullptr;
     const long threads = std::strtol(raw.c_str(), &end, 10);
     if (raw.empty() || end == nullptr || *end != '\0' || threads < 1 ||
@@ -159,7 +185,7 @@ int cmd_serve(const Options& options) {
   if (options.has("bind")) {
     // --bind is the explicit opt-in for non-loopback serving; the Daemon
     // refuses non-loopback addresses that arrive any other way.
-    config.bind_addr = options.flags.at("bind");
+    config.bind_addr = options.flags.at("bind").back();
     config.allow_nonloopback = true;
   }
   config.window = static_cast<std::size_t>(options.num("window", 4096));
@@ -176,6 +202,42 @@ int cmd_serve(const Options& options) {
       static_cast<std::uint32_t>(options.num("send-timeout-ms", 2000));
   config.send_buffer = static_cast<int>(options.num("send-buffer", 0));
   config.seed = static_cast<std::uint64_t>(options.num("seed", 7));
+  // Strict peering flags: a peer endpoint that silently parsed wrong would
+  // dial (and retry forever against) the wrong machine.
+  for (const std::string& raw : options.all("peer")) {
+    const std::optional<node::PeerAddress> address =
+        node::parse_host_port(raw);
+    if (!address.has_value()) {
+      std::cerr << "serve: --peer must be IPv4:port, got '" << raw << "'\n";
+      return usage();
+    }
+    config.peers.push_back(*address);
+  }
+  if (options.has("ping-interval")) {
+    const std::string& raw = options.flags.at("ping-interval").back();
+    char* end = nullptr;
+    const long interval = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || interval < 0 ||
+        interval > 3'600'000) {
+      std::cerr << "serve: --ping-interval must be an integer in "
+                   "0..3600000 ms, got '"
+                << raw << "'\n";
+      return usage();
+    }
+    config.ping_interval_ms = static_cast<std::uint32_t>(interval);
+  }
+  if (options.has("pong-budget")) {
+    const std::string& raw = options.flags.at("pong-budget").back();
+    char* end = nullptr;
+    const long budget = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || budget < 1 ||
+        budget > 100) {
+      std::cerr << "serve: --pong-budget must be an integer in 1..100, got '"
+                << raw << "'\n";
+      return usage();
+    }
+    config.pong_budget = static_cast<std::uint32_t>(budget);
+  }
 
   node::Daemon daemon(config);
   g_daemon = &daemon;
@@ -196,7 +258,11 @@ int cmd_serve(const Options& options) {
             << "node.flooded " << stats.flooded << "\n"
             << "node.routed_hits " << stats.routed_hits << "\n"
             << "node.pairs_mined " << stats.pairs_mined << "\n"
-            << "node.send_timeouts " << stats.send_timeouts << "\n";
+            << "node.send_timeouts " << stats.send_timeouts << "\n"
+            << "node.peer.handshakes " << stats.peer_handshakes << "\n"
+            << "node.peer.pongs " << stats.peer_pongs << "\n"
+            << "node.peer.missed " << stats.peer_missed << "\n"
+            << "node.peer.reconnects " << stats.peer_reconnects << "\n";
   std::printf("node.routed_hit_fraction %.6f\n", stats.routed_hit_fraction());
   return 0;
 }
@@ -219,10 +285,31 @@ int cmd_replay(const Options& options) {
   config.hosts = static_cast<std::uint32_t>(options.num("hosts", 32));
   config.drain_ms = static_cast<std::uint32_t>(options.num("drain-ms", 1000));
   config.lockstep = options.num("lockstep", 0) != 0;
+  config.lockstep_wait_ms = static_cast<std::uint32_t>(
+      options.num("lockstep-wait-ms", 500));
   config.seed = static_cast<std::uint64_t>(options.num("seed", 1));
+  config.hits_host = options.get("hits-host", "127.0.0.1");
+  config.hits_port = static_cast<std::uint16_t>(options.num("hits-port", 0));
+  long expect_hits = 0;
+  if (options.has("expect-hits")) {
+    const std::string& raw = options.flags.at("expect-hits").back();
+    char* end = nullptr;
+    expect_hits = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || expect_hits < 1) {
+      std::cerr << "replay: --expect-hits must be a positive integer, got '"
+                << raw << "'\n";
+      return usage();
+    }
+  }
 
   const node::ReplayStats stats = node::run_replay(config);
   std::cout << node::to_text(stats);
+  if (expect_hits > 0 &&
+      stats.matched_hits < static_cast<std::uint64_t>(expect_hits)) {
+    std::cerr << "replay: expected at least " << expect_hits
+              << " matched hits, got " << stats.matched_hits << "\n";
+    return 1;
+  }
   return 0;
 }
 

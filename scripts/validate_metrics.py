@@ -128,9 +128,33 @@ NODE_COUNTERS = {
     "node.peer.pongs",
     "node.peer.missed",
     "node.peer.reconnects",
+    "node.restored_pairs",
+    "node.checkpoints",
 }
 NODE_GAUGES = {"node.connections", "node.rules"}
 NODE_TIMERS = {"node.process", "node.peer.rtt"}
+
+# The lsm.* family (docs/STORAGE.md, docs/OBSERVABILITY.md) is a closed
+# set: the tiered store registers exactly these names lazily, so a run
+# that never opens a store emits none of them.
+LSM_COUNTERS = {
+    "lsm.flushes",
+    "lsm.compactions",
+    "lsm.lookups",
+    "lsm.bloom_skips",
+}
+LSM_GAUGES = {"lsm.runs", "lsm.memtable_bytes", "lsm.entries_on_disk"}
+LSM_TIMERS = {"lsm.flush", "lsm.compaction"}
+
+# The mining.* family (docs/STORAGE.md "Miner spill path"): incremental
+# miner maintenance plus the spill/restore counters added with aar::lsm.
+MINING_COUNTERS = {
+    "mining.evictions",
+    "mining.spilled_antecedents",
+    "mining.restored_antecedents",
+}
+MINING_GAUGES = {"mining.antecedents"}
+MINING_TIMERS = {"mining.snapshot"}
 
 # Per-shard family (sharded daemon, ISSUE 8): node.shard.<i>.<leaf> with a
 # closed leaf set.  <i> is the shard index (0-based, daemon --threads).
@@ -174,6 +198,21 @@ def check_node_family(doc, path):
                  "undocumented node.* timer (docs/NODE.md)")
 
 
+def check_closed_family(doc, path, prefix, counters, gauges, timers, doc_ref):
+    for name in doc["counters"]:
+        if name.startswith(prefix) and name not in counters:
+            fail(f"{path}.counters.{name}",
+                 f"undocumented {prefix}* counter ({doc_ref})")
+    for name in doc["gauges"]:
+        if name.startswith(prefix) and name not in gauges:
+            fail(f"{path}.gauges.{name}",
+                 f"undocumented {prefix}* gauge ({doc_ref})")
+    for name in doc["timers"]:
+        if name.startswith(prefix) and name not in timers:
+            fail(f"{path}.timers.{name}",
+                 f"undocumented {prefix}* timer ({doc_ref})")
+
+
 def check_metrics(doc, path):
     check_keys(doc, path,
                ["schema", "counters", "gauges", "timers", "histograms",
@@ -188,6 +227,10 @@ def check_metrics(doc, path):
     check_str_map(doc["series"], f"{path}.series", check_series)
     check_sim_engine_family(doc, path)
     check_node_family(doc, path)
+    check_closed_family(doc, path, "lsm.", LSM_COUNTERS, LSM_GAUGES,
+                        LSM_TIMERS, "docs/STORAGE.md")
+    check_closed_family(doc, path, "mining.", MINING_COUNTERS, MINING_GAUGES,
+                        MINING_TIMERS, "docs/STORAGE.md")
 
 
 def check_bench(doc, path):
@@ -217,6 +260,21 @@ def check_bench(doc, path):
         if counters["sim.engine.searches"] <= 0:
             fail(f"{path}.metrics.counters.sim.engine.searches",
                  "n7_scale ran no engine searches")
+    if doc["id"] == "p4_lsm":
+        # The lsm bench ingests far past its memtable budget, so its record
+        # must show real tiered-store activity: flushes, compactions, and
+        # lookups that consulted the bloom filters.
+        counters = doc["metrics"]["counters"]
+        for name in ("lsm.flushes", "lsm.compactions", "lsm.lookups",
+                     "lsm.bloom_skips"):
+            if counters.get(name, 0) <= 0:
+                fail(f"{path}.metrics.counters.{name}",
+                     "p4_lsm record shows no tiered-store activity")
+        for name in ("ingest_deltas_per_sec", "lookup_per_sec",
+                     "disk_over_memtable"):
+            if name not in doc["extra"]:
+                fail(f"{path}.extra.{name}",
+                     "p4_lsm record lacks the out-of-core extras")
     if doc["id"] == "n8_node":
         # The node bench drives a live daemon over loopback sockets; its
         # record must show traffic that was relayed and rule-routed hits.

@@ -1,0 +1,35 @@
+#include "lsm/fault.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace aar::lsm {
+
+namespace {
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+// Shared, not copied, into fault_point: hooks are stateful ("throw at the
+// n-th occurrence"), so every firing must mutate the same closure.
+std::shared_ptr<FaultHook> g_hook;  // guarded by g_mutex
+}  // namespace
+
+void set_fault_hook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_hook = hook ? std::make_shared<FaultHook>(std::move(hook)) : nullptr;
+  g_armed.store(static_cast<bool>(g_hook), std::memory_order_release);
+}
+
+void fault_point(std::string_view point) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  std::shared_ptr<FaultHook> hook;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    hook = g_hook;
+  }
+  // Invoked outside the mutex so a hook may clear/re-arm itself.
+  if (hook) (*hook)(point);
+}
+
+}  // namespace aar::lsm

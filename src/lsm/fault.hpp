@@ -1,0 +1,51 @@
+#pragma once
+// Crash-point injection for the lsm store (tests/test_lsm_recovery.cpp).
+//
+// The recovery contract of aar::lsm is "any crash point recovers to a
+// committed version", and a contract like that is only worth stating if a
+// test can park a crash at every interesting byte boundary.  The store
+// therefore calls fault_point(name) at each durability-relevant step —
+// mid-block writes, a sealed run before its manifest, both halves of the
+// manifest rename dance, mid-compaction — and a test may install a hook
+// that throws CrashPoint at the n-th occurrence of a chosen point.  The
+// throw unwinds out of the store exactly like a process kill would leave
+// the directory: partially written files, missing renames, orphaned runs.
+// The test then discards the Store object and re-opens the directory,
+// which is the recovery path a real restart takes.
+//
+// Production builds never install a hook; the per-point cost is one
+// relaxed atomic load.
+
+#include <functional>
+#include <stdexcept>
+#include <string_view>
+
+namespace aar::lsm {
+
+/// Thrown by test hooks to simulate a crash mid-operation.  Never thrown
+/// unless a hook is installed.
+struct CrashPoint : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// The named crash points, in the order a flush+compaction pass visits
+/// them (docs/STORAGE.md "Recovery contract"):
+///   run.block          a data block of a new run just hit the file
+///   run.sealed         run complete + synced, manifest not yet updated
+///   compaction.block   a data block of a compaction output hit the file
+///   compaction.sealed  merged run complete, manifest not yet updated
+///   manifest.tmp       tmp manifest written + synced, no rename yet
+///   manifest.retired   current manifest renamed aside, successor not yet
+///                      installed (the mid-rename window)
+///   manifest.installed manifest renamed into place, obsolete files not
+///                      yet deleted
+using FaultHook = std::function<void(std::string_view point)>;
+
+/// Install (or clear, with nullptr) the process-wide hook.  Tests only;
+/// not intended for concurrent arming, though firing is thread-safe.
+void set_fault_hook(FaultHook hook);
+
+/// Invoke the hook, if any, with the crash-point name.
+void fault_point(std::string_view point);
+
+}  // namespace aar::lsm

@@ -36,10 +36,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/ruleset.hpp"
 #include "mining/flat_map.hpp"
+#include "mining/spill.hpp"
 #include "trace/record.hpp"
 
 namespace aar::mining {
@@ -90,6 +92,9 @@ struct AntecedentCounts {
   FlatCountMap<std::uint32_t> consequents;
   std::uint32_t total = 0;
   bool dirty = false;  ///< already queued in dirty_ for the next snapshot
+  /// Miner op-clock value of the last count/uncount touching this
+  /// antecedent — the recency order spill_cold() evicts by.
+  std::uint64_t last_touch = 0;
 };
 
 /// One shard's worth of pair counts for the parallel replay engine
@@ -159,6 +164,27 @@ class IncrementalRuleMiner {
   /// churn since the previous snapshot.
   const core::RuleSet& snapshot();
 
+  /// Attach (or detach, with nullptr) the durable sink spill_cold()
+  /// evicts into.  Must be attached while any antecedent is spilled.
+  void attach_spill(SpillSink* sink) noexcept { spill_ = sink; }
+
+  /// Evict least-recently-touched *clean* antecedents into the attached
+  /// sink until at most `max_resident` remain in memory (dirty
+  /// antecedents never spill — their rules are not yet materialized).
+  /// A spilled antecedent's pairs stay in the window and its rules stay
+  /// in the snapshot; the sink state is a cache of its counts, restored
+  /// transparently on the next touch (bloom-then-run read) and
+  /// discarded — never double-counted — by the bulk recount paths
+  /// (clear / replace_window / purge_host).  Snapshots are byte-
+  /// identical with and without spilling (differential-tested).
+  /// Returns how many antecedents were spilled.
+  std::size_t spill_cold(std::size_t max_resident);
+
+  /// Antecedents currently living in the sink instead of memory.
+  [[nodiscard]] std::size_t spilled_antecedents() const noexcept {
+    return spilled_.size();
+  }
+
   /// The rule set produced by the most recent snapshot() — NOT the live
   /// counts.  Callers route against this between snapshots.
   [[nodiscard]] const core::RuleSet& ruleset() const noexcept {
@@ -173,9 +199,10 @@ class IncrementalRuleMiner {
   [[nodiscard]] const QueryReplyPair& window_pair(std::size_t i) const noexcept {
     return window_.at(i);
   }
-  /// Distinct antecedents currently in the window (counted, not yet pruned).
+  /// Distinct antecedents currently in the window (counted, not yet
+  /// pruned), resident or spilled.
   [[nodiscard]] std::size_t distinct_antecedents() const noexcept {
-    return counts_.size();
+    return counts_.size() + spilled_.size();
   }
   /// Antecedents queued for rebuild at the next snapshot (may rarely count
   /// one twice — see dirty_ below).
@@ -192,10 +219,21 @@ class IncrementalRuleMiner {
   void uncount(const QueryReplyPair& pair);
   void mark_dirty(HostId antecedent, AntecedentCounts& state);
   void rebuild_antecedent(HostId antecedent);
+  /// Pull a spilled antecedent's counts back into memory (zeroing the
+  /// sink copy) before a touch mutates them.
+  void restore_if_spilled(HostId antecedent);
+  /// Zero the sink copy of every spilled antecedent and queue it dirty —
+  /// the bulk recount paths rebuild from the window, so keeping the sink
+  /// cache would double-count on the next restore.
+  void discard_spilled();
 
   MinerConfig config_;
   PairRing window_;
   FlatCountMap<AntecedentCounts> counts_;
+  SpillSink* spill_ = nullptr;
+  FlatCountMap<std::uint8_t> spilled_;  ///< antecedents living in the sink
+  std::uint64_t op_clock_ = 0;          ///< drives AntecedentCounts::last_touch
+  std::vector<std::pair<std::uint32_t, std::int64_t>> spill_scratch_;
   /// Antecedents queued for rebuild.  The in-struct `dirty` flag keeps the
   /// hot counting path to one hash lookup; an antecedent fully evicted and
   /// then re-added between snapshots can appear twice (rebuild is

@@ -1,0 +1,40 @@
+#pragma once
+// Spill interface between the incremental miner and durable count
+// storage.  mining must not link against aar_lsm (the store already
+// depends on nothing above the wire layer, and the miner is used by sim
+// builds that want no disk I/O at all), so the miner talks to an
+// abstract sink and lsm::Store implements it.
+//
+// Contract (mirrors the miner's invariant that every antecedent's counts
+// live in exactly one place at a time):
+//   - spill_add merges a signed delta into the durable running sum for
+//     (antecedent, consequent).  Deltas are associative and commutative;
+//     the sink may buffer, reorder, or compact them freely.
+//   - spill_may_contain(a) == false guarantees the sink holds no nonzero
+//     state for `a` (bloom-then-run: false positives allowed, false
+//     negatives forbidden).
+//   - spill_read(a) returns every consequent with a *positive* running
+//     sum.  The miner zeroes restored state by writing the negative sums
+//     back, so a subsequent spill_read returns nothing.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aar::mining {
+
+class SpillSink {
+ public:
+  virtual ~SpillSink() = default;
+
+  virtual void spill_add(std::uint32_t antecedent, std::uint32_t consequent,
+                         std::int64_t delta) = 0;
+
+  [[nodiscard]] virtual bool spill_may_contain(std::uint32_t antecedent) = 0;
+
+  virtual void spill_read(
+      std::uint32_t antecedent,
+      std::vector<std::pair<std::uint32_t, std::int64_t>>& out) = 0;
+};
+
+}  // namespace aar::mining

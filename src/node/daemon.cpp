@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -15,8 +16,11 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "lsm/store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
 
 namespace aar::node {
 
@@ -77,9 +81,60 @@ Daemon::Daemon(NodeConfig config) : config_(std::move(config)) {
     shared_.shards.push_back(shards_.back().get());
   }
   shard_reported_.resize(config_.threads);
+  open_state();
 }
 
 Daemon::~Daemon() = default;
+
+void Daemon::open_state() {
+  if (config_.state_dir.empty()) return;
+  // Opening the archive creates state_dir (and recovers the manifest
+  // ladder); wiring it into SharedState turns on the per-pair fold in
+  // Shard::mine_pair.
+  archive_ = std::make_unique<lsm::Store>(config_.state_dir + "/archive");
+  shared_.archive = archive_.get();
+
+  std::vector<trace::QueryReplyPair> pairs;
+  try {
+    const store::Reader reader(config_.state_dir + "/window.aartr");
+    pairs = reader.read_all_pairs();
+  } catch (const std::exception&) {
+    return;  // missing or torn checkpoint: cold start, re-learn from traffic
+  }
+  if (pairs.empty()) return;
+  // The checkpoint is the miner's merged window, oldest first; replaying
+  // it through the same miner config republishes byte-identical rules.
+  shared_.hub->restore_window(pairs);
+  restored_pairs_ = pairs.size();
+  // Pair times are capture-clock ticks; restart the clock past the newest
+  // restored tick so fresh pairs never collide with checkpointed ones.
+  double newest = 0.0;
+  for (const trace::QueryReplyPair& pair : pairs) {
+    newest = std::max(newest, pair.time);
+  }
+  shared_.clock.store(static_cast<std::uint64_t>(newest),
+                      std::memory_order_relaxed);
+}
+
+void Daemon::checkpoint() {
+  if (archive_ == nullptr) return;
+  const std::vector<trace::QueryReplyPair> pairs =
+      shared_.hub->window_pairs();
+  const std::string path = config_.state_dir + "/window.aartr";
+  const std::string tmp = path + ".tmp";
+  try {
+    store::write_pairs_file(tmp, pairs);
+  } catch (const std::exception&) {
+    std::remove(tmp.c_str());  // disk trouble: keep the previous checkpoint
+    return;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return;
+  }
+  archive_->flush();
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+}
 
 void Daemon::stop() {
   stop_.store(true, std::memory_order_relaxed);
@@ -94,6 +149,7 @@ void Daemon::run() {
   // Startup peers dial in flag order, so their neighbor ids are a pure
   // function of the command line (reconnects reuse the id).
   for (const PeerAddress& peer : config_.peers) dial_peer(peer);
+  last_checkpoint_ = std::chrono::steady_clock::now();
   std::array<epoll_event, 64> events{};
   while (true) {
     if (stop_.load(std::memory_order_relaxed)) stopping_ = true;
@@ -144,9 +200,20 @@ void Daemon::run() {
         }
       }
     }
+    if (archive_ != nullptr && config_.checkpoint_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_checkpoint_ >=
+          std::chrono::milliseconds(config_.checkpoint_ms)) {
+        checkpoint();
+        last_checkpoint_ = now;
+      }
+    }
   }
   for (auto& shard : shards_) shard->request_stop();
   for (auto& shard : shards_) shard->join();
+  // Shards are quiesced, so this checkpoint captures the final window —
+  // the restart test compares rule bytes across exactly this boundary.
+  checkpoint();
   sync_metrics();
 }
 
@@ -268,6 +335,30 @@ void Daemon::handle_admin_line(AdminConnection& connection,
     } else {
       reply = "err disconnect expects a neighbor id\n";
     }
+  } else if (line.rfind("archive ", 0) == 0) {
+    const std::string arg = line.substr(8);
+    const bool digits =
+        !arg.empty() && std::all_of(arg.begin(), arg.end(), [](unsigned char c) {
+          return c >= '0' && c <= '9';
+        });
+    char* end = nullptr;
+    const unsigned long long id =
+        digits ? std::strtoull(arg.c_str(), &end, 10) : 0;
+    if (archive_ == nullptr) {
+      reply = "err archive needs --state-dir\n";
+    } else if (digits && end != nullptr && *end == '\0' &&
+               id <= std::numeric_limits<std::uint32_t>::max()) {
+      std::vector<std::pair<trace::HostId, std::int64_t>> consequents;
+      archive_->get_antecedent(static_cast<trace::HostId>(id), consequents);
+      std::ostringstream out;
+      for (const auto& [consequent, count] : consequents) {
+        out << consequent << ' ' << count << '\n';
+      }
+      out << "end\n";
+      reply = out.str();
+    } else {
+      reply = "err archive expects a host id\n";
+    }
   } else if (line == "shutdown") {
     reply = "ok\n";
     stopping_ = true;
@@ -333,6 +424,8 @@ void Daemon::aggregate(NodeStats& out) const {
   out.accepted = accepted_.load(std::memory_order_relaxed);
   out.admin_requests = admin_requests_.load(std::memory_order_relaxed);
   out.snapshots = shared_.hub->snapshots();
+  out.restored_pairs = restored_pairs_;
+  out.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   const auto get = [](const std::atomic<std::uint64_t>& v) {
     return v.load(std::memory_order_relaxed);
   };
@@ -427,6 +520,9 @@ void Daemon::sync_metrics() {
   bump("node.peer.missed", current.peer_missed, reported_.peer_missed);
   bump("node.peer.reconnects", current.peer_reconnects,
        reported_.peer_reconnects);
+  bump("node.restored_pairs", current.restored_pairs,
+       reported_.restored_pairs);
+  bump("node.checkpoints", current.checkpoints, reported_.checkpoints);
   registry.gauge("node.connections")
       .set(static_cast<double>(shared_.peers.list()->size()));
   registry.gauge("node.rules")
@@ -483,6 +579,8 @@ std::string Daemon::stats_text() const {
   line("node.peer.pongs", current.peer_pongs);
   line("node.peer.missed", current.peer_missed);
   line("node.peer.reconnects", current.peer_reconnects);
+  line("node.restored_pairs", current.restored_pairs);
+  line("node.checkpoints", current.checkpoints);
   char fraction[64];
   std::snprintf(fraction, sizeof fraction, "node.routed_hit_fraction %.6f\n",
                 current.routed_hit_fraction());

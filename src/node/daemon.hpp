@@ -33,6 +33,7 @@
 // reconnect with deterministic backoff when they die.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,18 @@ struct NodeConfig {
   /// Consecutive unanswered keepalive pings before a peered link is
   /// declared dead and purged from the published rules.
   std::uint32_t pong_budget = 3;
+
+  /// Durable state directory (docs/STORAGE.md).  Empty disables
+  /// persistence entirely — no files, no lsm.* metrics.  When set, the
+  /// daemon (a) checkpoints the miner's merged window to
+  /// `<state-dir>/window.aartr` (tmp + atomic rename) at shutdown and
+  /// every `checkpoint_ms`, restoring it at startup so the published rule
+  /// bytes survive a restart, and (b) folds every mined pair into an
+  /// aar::lsm archive store at `<state-dir>/archive` (admin `archive <id>`
+  /// reads it back).
+  std::string state_dir;
+  /// Periodic checkpoint cadence in ms; 0 = shutdown-only checkpoints.
+  std::uint32_t checkpoint_ms = 0;
 };
 
 /// Aggregate daemon counters (mirrored into the obs `node.*` family), summed
@@ -130,6 +143,8 @@ struct NodeStats {
   std::uint64_t peer_pongs = 0;       ///< keepalive pongs received
   std::uint64_t peer_missed = 0;      ///< keepalive pings unanswered in time
   std::uint64_t peer_reconnects = 0;  ///< outbound re-dial attempts
+  std::uint64_t restored_pairs = 0;   ///< window pairs recovered at startup
+  std::uint64_t checkpoints = 0;      ///< window checkpoints written
 
   /// Fraction of observed query-hits that answered a rule-routed query —
   /// the daemon's live analogue of the paper's success measure.
@@ -208,6 +223,13 @@ class Daemon {
   void admin_want_writable(AdminConnection& connection, bool enable);
   void aggregate(NodeStats& out) const;
   void sync_metrics();
+  /// Open the lsm archive under state_dir and replay the last window
+  /// checkpoint (ctor; no-op without state_dir).  A missing or torn
+  /// checkpoint file is a cold start, never an abort.
+  void open_state();
+  /// Write the miner window to `<state-dir>/window.aartr` (tmp + atomic
+  /// rename) and flush the archive store.  Control thread only.
+  void checkpoint();
   [[nodiscard]] std::string stats_text() const;
   [[nodiscard]] std::string metrics_json();
 
@@ -221,6 +243,12 @@ class Daemon {
 
   SharedState shared_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Durable state (--state-dir); both empty/null when persistence is off.
+  std::unique_ptr<lsm::Store> archive_;
+  std::uint64_t restored_pairs_ = 0;
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::chrono::steady_clock::time_point last_checkpoint_{};
 
   std::unordered_map<int, std::unique_ptr<AdminConnection>> admin_conns_;
   NeighborId next_neighbor_ = 1;

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <system_error>
 
+#include "lsm/store.hpp"
 #include "node/daemon.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
@@ -369,6 +370,12 @@ const RoutingSnapshot& Shard::routing() {
 void Shard::mine_pair(const trace::QueryReplyPair& pair) {
   shared_.windows[index_].append(pair);
   bump(stats_.pairs_mined);
+  if (shared_.archive != nullptr) {
+    // Durable fold: +1 per observed pair into the lsm archive (its own
+    // mutex — never the merge lock).  The archive is append-only history,
+    // unlike the sliding mining window.
+    shared_.archive->add(pair.source_host, pair.replying_neighbor, 1);
+  }
   if (shared_.hub->note_pair()) {
     shared_.hub->merge(shared_.windows, *shared_.peers.list());
   }

@@ -112,6 +112,22 @@ void MiningHub::purge(NeighborId host) {
   publish_locked();
 }
 
+std::vector<trace::QueryReplyPair> MiningHub::window_pairs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<trace::QueryReplyPair> out;
+  out.reserve(miner_.window_size());
+  for (std::size_t i = 0; i < miner_.window_size(); ++i) {
+    out.push_back(miner_.window_pair(i));
+  }
+  return out;
+}
+
+void MiningHub::restore_window(std::span<const trace::QueryReplyPair> pairs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const trace::QueryReplyPair& pair : pairs) miner_.add(pair);
+  publish_locked();
+}
+
 std::shared_ptr<const RoutingSnapshot> MiningHub::routing() const {
   std::lock_guard<std::mutex> lock(mu_);
   return snapshot_;

@@ -41,6 +41,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +50,10 @@
 #include "mining/incremental_miner.hpp"
 #include "mining/window_merge.hpp"
 #include "trace/record.hpp"
+
+namespace aar::lsm {
+class Store;  // src/lsm/store.hpp — only daemon.cpp/shard.cpp need the type
+}  // namespace aar::lsm
 
 namespace aar::node {
 
@@ -179,6 +184,18 @@ class MiningHub {
   /// cannot skew mining.evictions.
   void purge(NeighborId host);
 
+  /// The miner's merged window, oldest pair first — the daemon's durable
+  /// checkpoint payload.  The published rule bytes are a pure function of
+  /// this sequence (same miner config), so a restart that replays it
+  /// through restore_window() republishes byte-identical rules.
+  [[nodiscard]] std::vector<trace::QueryReplyPair> window_pairs() const;
+
+  /// Feed a checkpointed window back through the miner (oldest first) and
+  /// publish the resulting snapshot.  Call before serving starts: pairs
+  /// restored here carry their original capture times, so the daemon's
+  /// clock must be advanced past the newest of them by the caller.
+  void restore_window(std::span<const trace::QueryReplyPair> pairs);
+
   [[nodiscard]] std::shared_ptr<const RoutingSnapshot> routing() const;
   [[nodiscard]] std::uint64_t routing_version() const noexcept {
     return version_.load(std::memory_order_acquire);
@@ -219,6 +236,9 @@ struct SharedState {
   std::unique_ptr<MiningHub> hub;
   /// Capture clock: one tick per decoded frame, globally unique pair times.
   std::atomic<std::uint64_t> clock{0};
+  /// Durable rule archive (nullptr without --state-dir): every mined pair
+  /// is also folded into this lsm store, off the relay hot path's locks.
+  lsm::Store* archive = nullptr;
   /// Wired by the Daemon after construction (cross-shard relay hand-off).
   std::vector<Shard*> shards;
   /// The daemon's bound serving port, advertised in keepalive Pongs.

@@ -6,22 +6,18 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <random>
+
+#include "test_tmp.hpp"
 
 namespace aar::trace {
 namespace {
 
 class TraceIoTest : public ::testing::Test {
  protected:
+  // Shared process-unique prefix (tests/test_tmp.hpp): fixed names are
+  // flaky under ctest -j.
   std::string path(const char* name) {
-    // Unique per process: each test instance is a separate ctest process,
-    // and shared fixed names let concurrent instances truncate each
-    // other's files (flaky under ctest -j).
-    static const std::string token = [] {
-      std::random_device rd;
-      return "aar_" + std::to_string(rd()) + "_";
-    }();
-    return (std::filesystem::temp_directory_path() / (token + name)).string();
+    return aar::testing::unique_path(name);
   }
   void TearDown() override {
     for (const char* name : {"aar_q.csv", "aar_r.csv", "aar_p.csv",

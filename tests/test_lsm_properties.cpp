@@ -1,0 +1,377 @@
+// aar::lsm property battery (docs/STORAGE.md): the differential suite that
+// makes the tiered store trustworthy.
+//
+//   * 500-trial random differential — every trial drives a Store and a
+//     shadow std::map through the same randomized insert/flush/compact
+//     schedule and requires byte-identical canonical dumps after every
+//     maintenance step.  Counts merge by addition, so the shadow is just
+//     per-key sums with exact zeros dropped.
+//   * Block slicing invariance — BlockScanner must decode the same entries
+//     from ANY chunking of the same byte stream (the codec-suite property
+//     applied to lsm frames).
+//   * Bloom filter — zero false negatives ever; false-positive rate inside
+//     the banded expectation for 10 bits/key.
+//   * Miner spill differential — a miner spilling cold antecedents into a
+//     Store must snapshot byte-identical rules to a miner that never
+//     spills, across eviction, purge, and clear.
+//   * Background compaction — concurrent writers against the maintenance
+//     thread (the TSan target; see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/bloom.hpp"
+#include "lsm/format.hpp"
+#include "lsm/store.hpp"
+#include "mining/incremental_miner.hpp"
+#include "test_tmp.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace aar::lsm {
+namespace {
+
+using aar::testing::ScopedTempDir;
+
+// --- shadow model ---------------------------------------------------------
+
+/// The reference semantics: per-key signed sums, exact zeros invisible.
+class ShadowMap {
+ public:
+  void add(HostId antecedent, HostId consequent, std::int64_t delta) {
+    map_[make_key(antecedent, consequent)] += delta;
+  }
+
+  /// Canonical dump in Store::dump_text() format (nonzero sums only).
+  [[nodiscard]] std::string dump_text() const {
+    std::string out;
+    for (const auto& [key, count] : map_) {
+      if (count == 0) continue;
+      out += std::to_string(key_antecedent(key));
+      out += ',';
+      out += std::to_string(key_consequent(key));
+      out += ',';
+      out += std::to_string(count);
+      out += '\n';
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::int64_t get(HostId antecedent, HostId consequent) const {
+    const auto it = map_.find(make_key(antecedent, consequent));
+    return it == map_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<Key, std::int64_t> map_;
+};
+
+// --- 500-trial random differential ---------------------------------------
+
+TEST(LsmDifferential, FiveHundredRandomTrialsMatchShadowByteForByte) {
+  ScopedTempDir tmp("aar_lsm_diff");
+  for (std::uint64_t trial = 0; trial < 500; ++trial) {
+    util::Rng rng(0x5eed + trial);
+    StoreOptions options;
+    // Tiny budgets so every trial exercises flush + multi-level compaction
+    // paths, not just the memtable.
+    options.memtable_bytes = 1u << (8 + rng.below(4));  // 256B..2KiB
+    options.block_bytes = 64u << rng.below(4);          // 64B..512B blocks
+    options.level_fanout = 2 + static_cast<std::uint32_t>(rng.below(3));
+    const std::string dir = tmp.path("trial_" + std::to_string(trial));
+    Store store(dir, options);
+    ShadowMap shadow;
+
+    const std::uint32_t hosts = 4 + static_cast<std::uint32_t>(rng.below(28));
+    const std::size_t ops = 50 + rng.below(150);
+    for (std::size_t op = 0; op < ops; ++op) {
+      const auto a = static_cast<HostId>(rng.below(hosts));
+      const auto c = static_cast<HostId>(rng.below(hosts));
+      // Mostly increments, some negative corrections (the miner's restore
+      // deltas), occasionally large.
+      std::int64_t delta = 1 + static_cast<std::int64_t>(rng.below(5));
+      if (rng.below(4) == 0) delta = -delta;
+      if (rng.below(16) == 0) delta *= 1000;
+      store.add(a, c, delta);
+      shadow.add(a, c, delta);
+      if (rng.below(32) == 0) store.flush();
+      if (rng.below(64) == 0) store.compact();
+    }
+    // Reads must agree in every store state: memtable-resident, after
+    // flush, and after full compaction.
+    ASSERT_EQ(store.dump_text(), shadow.dump_text())
+        << "trial " << trial << " diverged before maintenance";
+    store.maintain();
+    ASSERT_EQ(store.dump_text(), shadow.dump_text())
+        << "trial " << trial << " diverged after maintain()";
+    for (std::uint32_t a = 0; a < hosts; ++a) {
+      for (std::uint32_t c = 0; c < hosts; ++c) {
+        ASSERT_EQ(store.get_count(a, c), shadow.get(a, c))
+            << "trial " << trial << " key (" << a << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(LsmDifferential, ReopenedStoreServesTheFlushedState) {
+  ScopedTempDir tmp("aar_lsm_reopen");
+  ShadowMap shadow;
+  util::Rng rng(99);
+  {
+    Store store(tmp.path("db"), {.memtable_bytes = 512});
+    for (int i = 0; i < 2000; ++i) {
+      const auto a = static_cast<HostId>(rng.below(50));
+      const auto c = static_cast<HostId>(rng.below(50));
+      store.add(a, c, 1);
+      shadow.add(a, c, 1);
+    }
+    store.flush();  // durable boundary: everything below is on disk
+  }
+  Store reopened(tmp.path("db"));
+  EXPECT_EQ(reopened.dump_text(), shadow.dump_text());
+  EXPECT_EQ(reopened.stats().recovered_from, "MANIFEST");
+}
+
+// --- block slicing invariance --------------------------------------------
+
+std::vector<Entry> random_entries(util::Rng& rng, std::size_t n) {
+  std::map<Key, std::int64_t> keyed;
+  while (keyed.size() < n) {
+    const Key key = make_key(static_cast<HostId>(rng.below(1000)),
+                             static_cast<HostId>(rng.below(1000)));
+    keyed[key] = static_cast<std::int64_t>(rng.below(1'000'000)) - 500'000;
+  }
+  std::vector<Entry> out;
+  out.reserve(n);
+  for (const auto& [key, count] : keyed) out.push_back({key, count});
+  return out;
+}
+
+TEST(LsmBlockScanner, DecodedEntriesAreInvariantUnderSlicing) {
+  util::Rng rng(31337);
+  for (int round = 0; round < 50; ++round) {
+    // Several blocks of varying fullness concatenated into one stream.
+    const std::vector<Entry> entries = random_entries(rng, 40 + rng.below(200));
+    std::string stream;
+    BlockBuilder builder(1 + static_cast<std::uint32_t>(rng.below(20)));
+    std::size_t per_block = 1 + rng.below(30);
+    for (const Entry& entry : entries) {
+      builder.add(entry.key, entry.count);
+      if (builder.entries() >= per_block) {
+        builder.finish(stream);
+        per_block = 1 + rng.below(30);
+      }
+    }
+    if (!builder.empty()) builder.finish(stream);
+
+    // Whole-stream decode is the reference.
+    std::vector<Entry> reference;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      std::size_t consumed = 0;
+      decode_block(
+          reinterpret_cast<const unsigned char*>(stream.data()) + offset,
+          stream.size() - offset, reference, consumed);
+      offset += consumed;
+    }
+    ASSERT_EQ(reference, entries);
+
+    // Any chunking through the scanner must produce the same entries.
+    for (int slicing = 0; slicing < 8; ++slicing) {
+      BlockScanner scanner;
+      std::vector<Entry> sliced;
+      std::size_t at = 0;
+      while (at < stream.size()) {
+        const std::size_t take =
+            std::min<std::size_t>(1 + rng.below(37), stream.size() - at);
+        scanner.feed(
+            reinterpret_cast<const unsigned char*>(stream.data()) + at, take,
+            sliced);
+        at += take;
+      }
+      ASSERT_EQ(sliced, entries) << "slicing " << slicing;
+      EXPECT_EQ(scanner.pending(), 0u);
+    }
+  }
+}
+
+TEST(LsmBlockScanner, TruncatedTailStaysPendingAndCorruptionThrows) {
+  util::Rng rng(7);
+  const std::vector<Entry> entries = random_entries(rng, 64);
+  std::string stream;
+  BlockBuilder builder;
+  for (const Entry& entry : entries) builder.add(entry.key, entry.count);
+  builder.finish(stream);
+
+  // Truncation: entries never appear, bytes stay buffered, no throw.
+  BlockScanner truncated;
+  std::vector<Entry> out;
+  truncated.feed(reinterpret_cast<const unsigned char*>(stream.data()),
+                 stream.size() - 5, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(truncated.pending(), stream.size() - 5);
+
+  // A flipped payload byte must fail the CRC, not decode garbage counts.
+  std::string corrupt = stream;
+  corrupt[12] = static_cast<char>(corrupt[12] ^ 0x40);
+  BlockScanner scanner;
+  EXPECT_THROW(
+      scanner.feed(reinterpret_cast<const unsigned char*>(corrupt.data()),
+                   corrupt.size(), out),
+      CorruptBlock);
+}
+
+// --- bloom filter ---------------------------------------------------------
+
+TEST(LsmBloom, NoFalseNegativesAndBandedFalsePositiveRate) {
+  util::Rng rng(404);
+  const std::size_t n = 10'000;
+  std::vector<HostId> members;
+  members.reserve(n);
+  Bloom bloom(n, 10);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto key = static_cast<HostId>(rng());
+    members.push_back(key);
+    bloom.add(key);
+  }
+  for (const HostId key : members) {
+    ASSERT_TRUE(bloom.may_contain(key));  // never a false negative
+  }
+  std::size_t false_positives = 0;
+  const std::size_t probes = 100'000;
+  for (std::size_t i = 0; i < probes; ++i) {
+    // Fresh u32 draws collide with a member with probability n/2^32, a
+    // vanishing inflation next to the ~1% bloom rate itself.
+    if (bloom.may_contain(static_cast<HostId>(rng()))) ++false_positives;
+  }
+  const double rate =
+      static_cast<double>(false_positives) / static_cast<double>(probes);
+  // 10 bits/key with k=6 has theoretical FPR ≈ 0.8%; accept a wide band.
+  EXPECT_LT(rate, 0.03) << "false positive rate " << rate;
+}
+
+TEST(LsmBloom, SerializationRoundTripsAndRejectsCorruption) {
+  Bloom bloom(100, 10);
+  for (HostId i = 0; i < 100; ++i) bloom.add(i * 977);
+  const std::string bytes = bloom.serialize();
+  const Bloom back = Bloom::deserialize(bytes);
+  for (HostId i = 0; i < 100; ++i) {
+    EXPECT_TRUE(back.may_contain(i * 977));
+  }
+  EXPECT_THROW(
+      Bloom::deserialize(std::string_view(bytes).substr(0, bytes.size() / 2)),
+      CorruptBlock);
+}
+
+// --- miner spill differential --------------------------------------------
+
+std::string snapshot_bytes(mining::IncrementalRuleMiner& miner) {
+  std::ostringstream out;
+  miner.snapshot().save(out);
+  return out.str();
+}
+
+trace::QueryReplyPair pair_at(std::uint32_t source, std::uint32_t neighbor,
+                              double time) {
+  trace::QueryReplyPair pair{};
+  pair.source_host = source;
+  pair.replying_neighbor = neighbor;
+  pair.query = source;
+  pair.time = time;
+  return pair;
+}
+
+TEST(LsmSpill, MinerSnapshotsAreByteIdenticalWithAndWithoutSpilling) {
+  ScopedTempDir tmp("aar_lsm_spill");
+  const mining::MinerConfig config{.window = 256, .min_support = 2};
+  mining::IncrementalRuleMiner plain(config);
+  mining::IncrementalRuleMiner spilling(config);
+  Store sink(tmp.path("sink"), {.memtable_bytes = 512});
+  spilling.attach_spill(&sink);
+
+  util::Rng rng(2024);
+  double clock = 0.0;
+  const auto step = [&](std::size_t pairs) {
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const auto source = static_cast<std::uint32_t>(1 + rng.below(40));
+      const auto neighbor = static_cast<std::uint32_t>(1 + rng.below(12));
+      const trace::QueryReplyPair pair = pair_at(source, neighbor, clock);
+      clock += 1.0;
+      plain.add(pair);
+      spilling.add(pair);
+      // spill_cold only evicts antecedents already captured by a snapshot
+      // (dirty ones still owe the ruleset a rebuild), so snapshot on a
+      // cadence — both miners, to keep them in lockstep — then spill
+      // aggressively: at most 8 antecedents stay resident, so most
+      // touches go through the restore path.
+      if (i % 16 == 15) {
+        ASSERT_EQ(snapshot_bytes(spilling), snapshot_bytes(plain));
+        spilling.spill_cold(8);
+      }
+    }
+    ASSERT_EQ(snapshot_bytes(spilling), snapshot_bytes(plain));
+    ASSERT_EQ(plain.distinct_antecedents(), spilling.distinct_antecedents());
+  };
+
+  step(400);  // window churn: evictions decrement restored counts
+  EXPECT_GT(sink.stats().flushes + sink.stats().memtable_entries, 0u);
+
+  // purge_host: a bulk recount path that must discard sink state.
+  plain.purge_host(5);
+  spilling.purge_host(5);
+  ASSERT_EQ(snapshot_bytes(spilling), snapshot_bytes(plain));
+  step(200);
+
+  // clear: the other bulk path.
+  plain.clear();
+  spilling.clear();
+  ASSERT_EQ(snapshot_bytes(spilling), snapshot_bytes(plain));
+  step(200);
+
+  EXPECT_GT(spilling.spilled_antecedents() + sink.stats().entries_on_disk,
+            0u);
+}
+
+// --- background compaction (the TSan target) ------------------------------
+
+TEST(LsmStoreThreads, BackgroundCompactionRacesWriters) {
+  ScopedTempDir tmp("aar_lsm_bg");
+  ShadowMap expected;
+  {
+    StoreOptions options;
+    options.memtable_bytes = 1024;
+    options.background_compaction = true;
+    options.compaction_interval_ms = 1;
+    Store store(tmp.path("db"), options);
+    std::vector<std::thread> writers;
+    const int kThreads = 4;
+    const int kPerThread = 3000;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&store, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          store.add(static_cast<HostId>(t), static_cast<HostId>(i % 17), 1);
+        }
+      });
+    }
+    for (int t = 0; t < kThreads; ++t) {
+      for (int i = 0; i < kPerThread; ++i) {
+        expected.add(static_cast<HostId>(t), static_cast<HostId>(i % 17), 1);
+      }
+    }
+    for (std::thread& w : writers) w.join();
+    store.flush();
+    EXPECT_EQ(store.dump_text(), expected.dump_text());
+  }  // dtor joins the compaction thread
+  Store reopened(tmp.path("db"));
+  EXPECT_EQ(reopened.dump_text(), expected.dump_text());
+}
+
+}  // namespace
+}  // namespace aar::lsm

@@ -8,6 +8,7 @@
 #include <limits>
 #include <random>
 
+#include "test_tmp.hpp"
 #include "store/block_source.hpp"
 #include "store/format.hpp"
 #include "store/writer.hpp"
@@ -23,15 +24,10 @@ using trace::ReplyRecord;
 
 class StoreTest : public ::testing::Test {
  protected:
+  // Shared process-unique prefix (tests/test_tmp.hpp): fixed names are
+  // flaky under ctest -j.
   std::string path(const char* name) {
-    // Unique per process: each test instance is a separate ctest process,
-    // and shared fixed names let concurrent instances truncate each
-    // other's files (flaky under ctest -j).
-    static const std::string token = [] {
-      std::random_device rd;
-      return "aar_" + std::to_string(rd()) + "_";
-    }();
-    return (std::filesystem::temp_directory_path() / (token + name)).string();
+    return aar::testing::unique_path(name);
   }
   void TearDown() override {
     for (const char* name : {"aar_s.aartr", "aar_s2.aartr", "aar_s.csv"}) {

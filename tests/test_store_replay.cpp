@@ -11,6 +11,7 @@
 #include <memory>
 #include <random>
 
+#include "test_tmp.hpp"
 #include "core/strategy.hpp"
 #include "core/trace_simulator.hpp"
 #include "store/block_source.hpp"
@@ -65,16 +66,9 @@ class StoreReplay : public ::testing::TestWithParam<const char*> {
     std::remove(file_path().c_str());
   }
   static std::string file_path() {
-    // Unique per process: every parameterized instance is a separate ctest
-    // invocation of this binary, and a shared fixed name let concurrent
-    // instances truncate the file under each other (flaky under ctest -j).
-    static const std::string path = [] {
-      std::random_device rd;
-      return (std::filesystem::temp_directory_path() /
-              ("aar_replay_" + std::to_string(rd()) + ".aartr"))
-          .string();
-    }();
-    return path;
+    // Shared process-unique prefix (tests/test_tmp.hpp): fixed names are
+    // flaky under ctest -j.
+    return aar::testing::unique_path("replay.aartr");
   }
   static std::vector<trace::QueryReplyPair>* pairs_;
 };

@@ -9,6 +9,8 @@
 #include <random>
 #include <sstream>
 
+#include "test_tmp.hpp"
+
 namespace aar::util {
 namespace {
 
@@ -56,12 +58,9 @@ TEST(Table, PctFormats) {
 
 class CsvTest : public ::testing::Test {
  protected:
-  // Random suffix: concurrent ctest processes sharing one fixed name
-  // truncate each other's files (flaky under ctest -j).
-  std::string path_ =
-      (std::filesystem::temp_directory_path() /
-       ("aar_csv_test_" + std::to_string(std::random_device{}()) + ".csv"))
-          .string();
+  // Shared process-unique prefix (tests/test_tmp.hpp): fixed names are
+  // flaky under ctest -j.
+  std::string path_ = aar::testing::unique_path("csv_test.csv");
   void TearDown() override { std::remove(path_.c_str()); }
 
   std::string slurp() {

@@ -1,0 +1,76 @@
+#pragma once
+// Shared temp-path hygiene for the test suite.
+//
+// ctest runs test processes concurrently (-j), so fixed scratch names under
+// /tmp let two instances truncate each other's files mid-test — the classic
+// flake.  Every test that touches disk goes through one of these helpers:
+//
+//   * ScopedTempDir — a unique directory created at construction and
+//     recursively removed at destruction.  Preferred for anything that
+//     writes more than one file (lsm stores, node state dirs): cleanup is
+//     one remove_all, and a crashed assertion can leak at most one
+//     uniquely-named directory.
+//   * unique_path(name) — a process-unique file path for single-file tests
+//     that manage their own cleanup (the pre-ScopedTempDir idiom, kept for
+//     tests that want the file to outlive a fixture).
+
+#include <filesystem>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace aar::testing {
+
+/// Process-unique token: stable within one test binary run, distinct across
+/// concurrent ctest instances.
+inline const std::string& process_token() {
+  static const std::string token = [] {
+    std::random_device rd;
+    return "aar_" + std::to_string(rd()) + "_";
+  }();
+  return token;
+}
+
+/// `<tmp>/aar_<random>_<name>` — unique per process, shared within it.
+inline std::string unique_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / (process_token() + name))
+      .string();
+}
+
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "aar_test") {
+    std::random_device rd;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::filesystem::path candidate =
+          std::filesystem::temp_directory_path() /
+          (prefix + "_" + std::to_string(rd()));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec)) {
+        dir_ = candidate;
+        return;
+      }
+    }
+    throw std::runtime_error("ScopedTempDir: no unique directory after 16 "
+                             "attempts");
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // best effort; never throws
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+  /// Path of `name` inside the directory.
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace aar::testing

@@ -12,7 +12,7 @@
 //                  [--retries R] [--backoff-ms B] [--jitter-ms J]
 //                  [--send-timeout-ms T] [--send-buffer B] [--seed S]
 //                  [--peer HOST:PORT]... [--ping-interval MS]
-//                  [--pong-budget N]
+//                  [--pong-budget N] [--state-dir DIR] [--checkpoint-ms MS]
 //   aar_node replay --port P [--host H] [--trace F.aartr] [--pairs N]
 //                  [--rate N] [--connections C] [--ttl T] [--hit-lag N]
 //                  [--hosts N] [--drain-ms N] [--seed S]
@@ -89,7 +89,8 @@ int usage() {
          "                 [--backoff-ms B] [--jitter-ms J]\n"
          "                 [--send-timeout-ms T] [--send-buffer B] [--seed S]\n"
          "                 [--peer HOST:PORT]... [--ping-interval MS]\n"
-         "                 [--pong-budget N]\n"
+         "                 [--pong-budget N] [--state-dir DIR]\n"
+         "                 [--checkpoint-ms MS]\n"
          "  aar_node replay --port P [--host H] [--trace F.aartr]\n"
          "                 [--pairs N] [--rate N] [--connections C]\n"
          "                 [--ttl T] [--hit-lag N] [--hosts N]\n"
@@ -107,9 +108,12 @@ int usage() {
          "waits for each frame's relayed copy before sending the next,\n"
          "making daemon stats invariant under --threads; --hits-port sends\n"
          "hits to a second daemon (cluster mode) and --expect-hits N fails\n"
-         "the run (exit 1) unless at least N hits matched.  admin commands\n"
-         "are health | stats | metrics | rules | connect host:port |\n"
-         "disconnect id | shutdown.\n";
+         "the run (exit 1) unless at least N hits matched.  --state-dir\n"
+         "persists mined state across restarts (window checkpoint + lsm\n"
+         "rule archive, docs/STORAGE.md); --checkpoint-ms adds periodic\n"
+         "checkpoints on top of the shutdown one.  admin commands are\n"
+         "health | stats | metrics | rules | connect host:port |\n"
+         "disconnect id | archive id | shutdown.\n";
   return 2;
 }
 
@@ -119,7 +123,7 @@ const std::map<std::string, std::vector<std::string>, std::less<>>
          {"port", "admin-port", "threads", "bind", "window", "min-support",
           "rebuild-every", "top-k", "retries", "backoff-ms", "jitter-ms",
           "send-timeout-ms", "send-buffer", "seed", "peer", "ping-interval",
-          "pong-budget"}},
+          "pong-budget", "state-dir", "checkpoint-ms"}},
         {"replay",
          {"port", "host", "trace", "pairs", "rate", "connections", "ttl",
           "hit-lag", "hosts", "drain-ms", "lockstep", "lockstep-wait-ms",
@@ -237,6 +241,32 @@ int cmd_serve(const Options& options) {
       return usage();
     }
     config.pong_budget = static_cast<std::uint32_t>(budget);
+  }
+  if (options.has("state-dir")) {
+    // Strict: an empty path would silently disable persistence the caller
+    // explicitly asked for.
+    config.state_dir = options.flags.at("state-dir").back();
+    if (config.state_dir.empty()) {
+      std::cerr << "serve: --state-dir must be a non-empty path\n";
+      return usage();
+    }
+  }
+  if (options.has("checkpoint-ms")) {
+    const std::string& raw = options.flags.at("checkpoint-ms").back();
+    char* end = nullptr;
+    const long interval = std::strtol(raw.c_str(), &end, 10);
+    if (raw.empty() || end == nullptr || *end != '\0' || interval < 0 ||
+        interval > 3'600'000) {
+      std::cerr << "serve: --checkpoint-ms must be an integer in "
+                   "0..3600000 ms, got '"
+                << raw << "'\n";
+      return usage();
+    }
+    if (interval > 0 && !options.has("state-dir")) {
+      std::cerr << "serve: --checkpoint-ms needs --state-dir\n";
+      return usage();
+    }
+    config.checkpoint_ms = static_cast<std::uint32_t>(interval);
   }
 
   node::Daemon daemon(config);
